@@ -1,0 +1,46 @@
+//! Criterion microbenchmarks of the baseline accelerator models and
+//! the functional (value-accurate) fabric simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maeri::{functional, MaeriConfig};
+use maeri_baselines::{FixedClusterArray, RowStationary, SystolicArray};
+use maeri_dnn::{zoo, Tensor, WeightMask};
+use maeri_sim::SimRng;
+
+fn bench_baseline_models(c: &mut Criterion) {
+    let layer = zoo::vgg16_c8();
+    c.bench_function("systolic_model_vgg_c8", |b| {
+        let sa = SystolicArray::new(8, 8, 8);
+        b.iter(|| sa.run_conv(std::hint::black_box(&layer)))
+    });
+    c.bench_function("row_stationary_model_vgg_c8", |b| {
+        let rs = RowStationary::new(8, 8, 8);
+        b.iter(|| rs.run_conv(std::hint::black_box(&layer)))
+    });
+    c.bench_function("cluster_model_vgg_c8_sparse", |b| {
+        let cluster = FixedClusterArray::paper_baseline();
+        let mask = WeightMask::generate(&layer, 0.5, &mut SimRng::seed(1));
+        b.iter(|| cluster.run_conv(std::hint::black_box(&layer), &mask, 3))
+    });
+}
+
+fn bench_functional_fabric(c: &mut Criterion) {
+    let cfg = MaeriConfig::paper_64();
+    let layer = zoo::fig17_example();
+    let mut rng = SimRng::seed(7);
+    let input = Tensor::random(&[3, 5, 5], &mut rng);
+    let weights = Tensor::random(&[8, 3, 3, 3], &mut rng);
+    c.bench_function("functional_conv_fig17", |b| {
+        b.iter(|| {
+            functional::run_conv(
+                &cfg,
+                std::hint::black_box(&layer),
+                std::hint::black_box(&input),
+                std::hint::black_box(&weights),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_baseline_models, bench_functional_fabric);
+criterion_main!(benches);

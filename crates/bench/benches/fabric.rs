@@ -1,0 +1,65 @@
+//! Criterion microbenchmarks of the fabric itself: ART construction
+//! (the Section 4.1 VN-construction algorithm) and functional
+//! reduction, across array sizes and VN shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maeri::art::{pack_vns, ArtConfig, VnRange};
+use maeri_noc::{BinaryTree, ChubbyTree};
+
+fn chubby(leaves: usize, bw: usize) -> ChubbyTree {
+    ChubbyTree::new(BinaryTree::with_leaves(leaves).unwrap(), bw).unwrap()
+}
+
+fn bench_vn_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("art_vn_construction");
+    for &leaves in &[64usize, 256, 1024] {
+        // Paper-flavoured irregular VN mix.
+        let sizes: Vec<usize> = (0..)
+            .map(|i| 3 + (i * 7) % 25)
+            .scan(0usize, |used, s| {
+                *used += s;
+                (*used <= leaves).then_some(s)
+            })
+            .collect();
+        let (ranges, _) = pack_vns(leaves, &sizes);
+        group.bench_with_input(
+            BenchmarkId::new("irregular_mix", leaves),
+            &ranges,
+            |b, ranges| {
+                b.iter(|| ArtConfig::build(chubby(leaves, 8), std::hint::black_box(ranges)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("art_reduce");
+    for &vn in &[5usize, 9, 27] {
+        let leaves = 64;
+        let count = leaves / vn;
+        let (ranges, _) = pack_vns(leaves, &vec![vn; count]);
+        let config = ArtConfig::build(chubby(leaves, 8), &ranges).unwrap();
+        let values: Vec<f32> = (0..leaves).map(|i| i as f32 * 0.25).collect();
+        group.bench_with_input(BenchmarkId::new("vn_size", vn), &config, |b, config| {
+            b.iter(|| config.reduce(std::hint::black_box(&values)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_tree_reduction(c: &mut Criterion) {
+    c.bench_function("art_reduce_fc_256", |b| {
+        let config = ArtConfig::build(chubby(256, 16), &[VnRange::new(0, 256)]).unwrap();
+        let values: Vec<f32> = (0..256).map(|i| (i as f32).sin()).collect();
+        b.iter(|| config.reduce(std::hint::black_box(&values)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vn_construction,
+    bench_reduce,
+    bench_whole_tree_reduction
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the dataflow mappers: dense CONV,
+//! sparse CONV, LSTM and cross-layer planning+costing throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maeri::{ConvMapper, CrossLayerMapper, LstmMapper, MaeriConfig, SparseConvMapper, VnPolicy};
+use maeri_dnn::layer::Layer;
+use maeri_dnn::{zoo, ConvLayer, LstmLayer, WeightMask};
+use maeri_sim::SimRng;
+
+fn bench_dense_conv(c: &mut Criterion) {
+    let cfg = MaeriConfig::paper_64();
+    let mapper = ConvMapper::new(cfg);
+    let mut group = c.benchmark_group("conv_mapper");
+    for layer in [
+        ConvLayer::new("alexnet_c1", 3, 224, 224, 96, 11, 11, 4, 2),
+        zoo::vgg16_c8(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("auto_policy", layer.name.clone()),
+            &layer,
+            |b, layer| b.iter(|| mapper.run(std::hint::black_box(layer), VnPolicy::Auto)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_sparse_conv(c: &mut Criterion) {
+    let cfg = MaeriConfig::paper_64();
+    let mapper = SparseConvMapper::new(cfg);
+    let layer = zoo::vgg16_c8();
+    let mut group = c.benchmark_group("sparse_mapper");
+    for pct in [0u32, 50] {
+        let mask = WeightMask::generate(&layer, f64::from(pct) / 100.0, &mut SimRng::seed(1));
+        group.bench_with_input(
+            BenchmarkId::new("vgg16_c8", format!("{pct}pct")),
+            &mask,
+            |b, mask| b.iter(|| mapper.run(std::hint::black_box(&layer), mask, 3)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lstm(c: &mut Criterion) {
+    let mapper = LstmMapper::new(MaeriConfig::paper_64());
+    let layer = LstmLayer::new("ds2_rnn", 1280, 1280);
+    c.bench_function("lstm_mapper_ds2", |b| {
+        b.iter(|| mapper.run(std::hint::black_box(&layer)))
+    });
+}
+
+fn bench_cross_layer(c: &mut Criterion) {
+    let mapper = CrossLayerMapper::new(MaeriConfig::paper_64());
+    let alexnet = zoo::alexnet();
+    let chain: Vec<ConvLayer> = ["alexnet_conv3", "alexnet_conv4", "alexnet_conv5"]
+        .iter()
+        .map(|name| match alexnet.layer(name) {
+            Some(Layer::Conv(conv)) => conv.clone(),
+            _ => unreachable!(),
+        })
+        .collect();
+    c.bench_function("cross_layer_map_c", |b| {
+        b.iter(|| mapper.run(std::hint::black_box(&chain)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dense_conv,
+    bench_sparse_conv,
+    bench_lstm,
+    bench_cross_layer
+);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! `mapcheck` — a small CLI for exploring how a convolution maps onto
+//! a MAERI instance: plan, cost, and the baseline comparison, from
+//! command-line dimensions.
+//!
+//! ```text
+//! Usage: mapcheck [options]
+//!   --switches N      multiplier switches (power of two, default 64)
+//!   --bandwidth N     chubby root bandwidth, both trees (default 8)
+//!   --in-channels C   input channels (default 3)
+//!   --size HW         square input size (default 32)
+//!   --filters K       output channels (default 16)
+//!   --kernel K        square kernel (default 3)
+//!   --stride S        stride (default 1)
+//!   --pad P           padding (default kernel/2)
+//!   --sparsity F      zero-weight fraction 0.0-1.0 (default 0 = dense)
+//! ```
+
+use maeri::{ConvMapper, MaeriConfig, SparseConvMapper, VnPolicy};
+use maeri_baselines::{RowStationary, SystolicArray};
+use maeri_dnn::{ConvLayer, WeightMask};
+use maeri_sim::SimRng;
+
+#[derive(Debug)]
+struct Args {
+    switches: usize,
+    bandwidth: usize,
+    in_channels: usize,
+    size: usize,
+    filters: usize,
+    kernel: usize,
+    stride: usize,
+    pad: Option<usize>,
+    sparsity: f64,
+}
+
+impl Args {
+    fn parse() -> Result<Args, String> {
+        let mut args = Args {
+            switches: 64,
+            bandwidth: 8,
+            in_channels: 3,
+            size: 32,
+            filters: 16,
+            kernel: 3,
+            stride: 1,
+            pad: None,
+            sparsity: 0.0,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(flag) = iter.next() {
+            if flag == "--help" || flag == "-h" {
+                return Err("help".to_owned());
+            }
+            let value = iter
+                .next()
+                .ok_or_else(|| format!("missing value for {flag}"))?;
+            let parse_usize =
+                |v: &str| v.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
+            match flag.as_str() {
+                "--switches" => args.switches = parse_usize(&value)?,
+                "--bandwidth" => args.bandwidth = parse_usize(&value)?,
+                "--in-channels" => args.in_channels = parse_usize(&value)?,
+                "--size" => args.size = parse_usize(&value)?,
+                "--filters" => args.filters = parse_usize(&value)?,
+                "--kernel" => args.kernel = parse_usize(&value)?,
+                "--stride" => args.stride = parse_usize(&value)?,
+                "--pad" => args.pad = Some(parse_usize(&value)?),
+                "--sparsity" => {
+                    args.sparsity = value
+                        .parse::<f64>()
+                        .map_err(|e| format!("--sparsity: {e}"))?;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(args)
+    }
+}
+
+fn main() {
+    let args = match Args::parse() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: mapcheck [--switches N] [--bandwidth N] [--in-channels C] \
+                 [--size HW] [--filters K] [--kernel K] [--stride S] [--pad P] \
+                 [--sparsity F]"
+            );
+            std::process::exit(if msg == "help" { 0 } else { 2 });
+        }
+    };
+    let pad = args.pad.unwrap_or(args.kernel / 2);
+    let layer = ConvLayer::new(
+        "cli_conv",
+        args.in_channels,
+        args.size,
+        args.size,
+        args.filters,
+        args.kernel,
+        args.kernel,
+        args.stride,
+        pad,
+    );
+    let cfg = match MaeriConfig::builder(args.switches)
+        .distribution_bandwidth(args.bandwidth)
+        .collection_bandwidth(args.bandwidth)
+        .build()
+    {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("invalid fabric: {err}");
+            std::process::exit(2);
+        }
+    };
+
+    println!("layer:  {layer}");
+    println!(
+        "fabric: {} switches, {}x chubby trees\n",
+        cfg.num_mult_switches(),
+        cfg.dist_bandwidth()
+    );
+
+    let mapper = ConvMapper::new(cfg);
+    let plan = mapper.plan(&layer, VnPolicy::Auto).expect("mappable");
+    println!(
+        "plan:   {} VNs x {} switches ({} channels/VN), {} fold passes, {} iterations",
+        plan.num_vns,
+        plan.vn_size,
+        plan.channel_tile,
+        plan.fold_factor(),
+        plan.iterations
+    );
+
+    let run = if args.sparsity > 0.0 {
+        let mask = WeightMask::generate(&layer, args.sparsity, &mut SimRng::seed(42));
+        let sparse = SparseConvMapper::new(cfg);
+        let ct = sparse.auto_channel_tile(&layer, &mask);
+        println!("sparse: {:.0}% zeros, auto channel tile {ct}", args.sparsity * 100.0);
+        sparse.run(&layer, &mask, ct).expect("mappable")
+    } else {
+        mapper.run(&layer, VnPolicy::Auto).expect("mappable")
+    };
+    println!(
+        "maeri:  {} cycles | {:.1}% utilization | {} SRAM reads | {} writes",
+        run.cycles.as_u64(),
+        run.utilization() * 100.0,
+        run.sram_reads,
+        run.sram_writes
+    );
+
+    // Baselines at the same compute count (square-ish array).
+    let side = (args.switches as f64).sqrt() as usize;
+    if side * side == args.switches {
+        let sa = SystolicArray::new(side, side, args.bandwidth).run_conv(&layer);
+        let rs = RowStationary::new(side, side, args.bandwidth).run_conv(&layer);
+        println!(
+            "systolic {side}x{side}: {} cycles | {:.1}% util  (MAERI speedup {:.2}x)",
+            sa.cycles.as_u64(),
+            sa.utilization() * 100.0,
+            sa.cycles.as_f64() / run.cycles.as_f64()
+        );
+        println!(
+            "row-stat {side}x{side}: {} cycles | {:.1}% util  (MAERI speedup {:.2}x)",
+            rs.cycles.as_u64(),
+            rs.utilization() * 100.0,
+            rs.cycles.as_f64() / run.cycles.as_f64()
+        );
+    }
+}

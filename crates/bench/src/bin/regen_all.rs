@@ -1,0 +1,44 @@
+//! Regenerates every paper artifact in one run: executes each sibling
+//! report binary in order and streams their output, so
+//! `cargo run --release -p maeri-bench --bin regen_all > reports.txt`
+//! rebuilds the complete paper-vs-measured record behind
+//! `EXPERIMENTS.md`.
+
+use std::process::Command;
+
+const REPORTS: &[&str] = &[
+    "table1", "table3", "figure11", "figure12", "figure13", "figure14", "figure15", "figure16",
+    "figure17", "headline", "ablations", "energy",
+];
+
+fn main() {
+    let current = std::env::current_exe().expect("current executable path");
+    let dir = current.parent().expect("executable directory");
+    let mut failures = Vec::new();
+    for report in REPORTS {
+        let path = dir.join(report);
+        if !path.exists() {
+            eprintln!("skipping {report}: binary not built (run with --bins)");
+            failures.push(*report);
+            continue;
+        }
+        match Command::new(&path).status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{report} exited with {status}");
+                failures.push(*report);
+            }
+            Err(err) => {
+                eprintln!("failed to launch {report}: {err}");
+                failures.push(*report);
+            }
+        }
+        println!();
+    }
+    if failures.is_empty() {
+        println!("regenerated all {} reports", REPORTS.len());
+    } else {
+        eprintln!("failed reports: {failures:?}");
+        std::process::exit(1);
+    }
+}

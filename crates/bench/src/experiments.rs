@@ -1,0 +1,491 @@
+//! The paper's evaluation experiments, as reusable functions.
+//!
+//! Everything here is deterministic (seeded RNG) so binaries and tests
+//! regenerate identical numbers.
+
+use maeri::analytic::{self, AnalyticResult};
+use maeri::engine::RunStats;
+use maeri::{ConvMapper, CrossLayerMapper, MaeriConfig, SparseConvMapper, VnPolicy};
+use maeri_baselines::{FixedClusterArray, RowStationary, SystolicArray};
+use maeri_dnn::layer::Layer;
+use maeri_dnn::{zoo, ConvLayer, WeightMask};
+use maeri_noc::ppa::{compare_all, NocKind, NocPpa};
+use maeri_noc::reduction::{utilization_sweep, ReductionKind};
+use maeri_ppa::DesignPoint;
+use maeri_sim::SimRng;
+
+/// Seed used by every randomized experiment.
+pub const EXPERIMENT_SEED: u64 = 42;
+
+/// The paper's 64-PE evaluation configuration.
+#[must_use]
+pub fn paper_config() -> MaeriConfig {
+    MaeriConfig::paper_64()
+}
+
+// ---------------------------------------------------------------- fig 12
+
+/// One Figure 12 layer result: the three designs at 64 compute units.
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    /// Layer name.
+    pub layer: String,
+    /// Cycles of an ideal 64-PE accelerator (MACs / 64).
+    pub ideal_cycles: u64,
+    /// MAERI result.
+    pub maeri: RunStats,
+    /// Systolic-array result.
+    pub systolic: RunStats,
+    /// Row-stationary result.
+    pub row_stationary: RunStats,
+}
+
+/// Runs the Figure 12 sweep: AlexNet C1-C5 plus representative VGG-16
+/// layers on MAERI, a systolic array, and a row-stationary design, all
+/// with 64 multipliers and 8-word SRAM bandwidth.
+#[must_use]
+pub fn figure12() -> Vec<Fig12Row> {
+    let cfg = paper_config();
+    let mapper = ConvMapper::new(cfg);
+    let sa = SystolicArray::new(8, 8, 8);
+    let rs = RowStationary::new(8, 8, 8);
+    zoo::fig12_layers()
+        .into_iter()
+        .map(|layer| {
+            let maeri = mapper
+                .run(&layer, VnPolicy::Auto)
+                .expect("zoo layers are mappable");
+            Fig12Row {
+                ideal_cycles: layer.macs() / 64,
+                maeri,
+                systolic: sa.run_conv(&layer),
+                row_stationary: rs.run_conv(&layer),
+                layer: layer.name.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Mean MAERI speedup over the systolic array across the Figure 12
+/// layers (the paper reports 72.4 % average speedup, ~95 % utilization
+/// on 3x3-heavy layers).
+#[must_use]
+pub fn figure12_mean_speedup(rows: &[Fig12Row]) -> f64 {
+    let speedups: Vec<f64> = rows
+        .iter()
+        .map(|r| r.maeri.speedup_over(&r.systolic))
+        .collect();
+    maeri_sim::util::mean(&speedups).unwrap_or(0.0)
+}
+
+// ---------------------------------------------------------------- fig 13
+
+/// One Figure 13 sparsity point.
+#[derive(Debug, Clone)]
+pub struct Fig13Row {
+    /// Percentage of zero weights.
+    pub sparsity_pct: u32,
+    /// MAERI at 1x chubby bandwidth (8 words/cycle).
+    pub maeri_1x: RunStats,
+    /// MAERI at 0.25x chubby bandwidth (2 words/cycle).
+    pub maeri_quarter: RunStats,
+    /// Fixed 4x4-cluster baseline.
+    pub cluster: RunStats,
+}
+
+/// Runs the Figure 13 sweep: VGG-16 conv8 with 0-50 % zero weights on
+/// MAERI (1x and 0.25x root bandwidth) and the fixed-cluster baseline,
+/// 27-weight neuron slices (3 channels x 3x3) as in the paper.
+#[must_use]
+pub fn figure13() -> Vec<Fig13Row> {
+    let layer = zoo::vgg16_c8();
+    let full = paper_config();
+    let quarter = MaeriConfig::builder(64)
+        .distribution_bandwidth(2)
+        .collection_bandwidth(2)
+        .build()
+        .expect("valid 0.25x configuration");
+    let cluster = FixedClusterArray::paper_baseline();
+    [0u32, 10, 20, 30, 40, 50]
+        .into_iter()
+        .map(|pct| {
+            let mask = WeightMask::generate(
+                &layer,
+                f64::from(pct) / 100.0,
+                &mut SimRng::seed(EXPERIMENT_SEED),
+            );
+            Fig13Row {
+                sparsity_pct: pct,
+                maeri_1x: SparseConvMapper::new(full)
+                    .run(&layer, &mask, 3)
+                    .expect("mappable"),
+                maeri_quarter: SparseConvMapper::new(quarter)
+                    .run(&layer, &mask, 3)
+                    .expect("mappable"),
+                cluster: cluster.run_conv(&layer, &mask, 3).expect("mappable"),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 14
+
+/// One fused mapping of Figure 14.
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    /// Map name (MapA..MapE).
+    pub name: String,
+    /// The fused AlexNet layer names.
+    pub layers: Vec<String>,
+    /// MAERI fused run.
+    pub maeri: RunStats,
+    /// Fixed-cluster fused run.
+    pub cluster: RunStats,
+}
+
+impl Fig14Row {
+    /// MAERI speedup over the cluster baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.maeri.speedup_over(&self.cluster)
+    }
+}
+
+fn alexnet_conv(name: &str) -> ConvLayer {
+    let model = zoo::alexnet();
+    match model.layer(name) {
+        Some(Layer::Conv(c)) => c.clone(),
+        _ => unreachable!("alexnet layer {name} exists"),
+    }
+}
+
+/// The five fused maps of Figure 14: AlexNet conv 1+2+3, 2+3+4, 3+4+5,
+/// 1+2+3+4 and 2+3+4+5.
+#[must_use]
+pub fn figure14() -> Vec<Fig14Row> {
+    let maps: [(&str, &[&str]); 5] = [
+        ("MapA", &["alexnet_conv1", "alexnet_conv2", "alexnet_conv3"]),
+        ("MapB", &["alexnet_conv2", "alexnet_conv3", "alexnet_conv4"]),
+        ("MapC", &["alexnet_conv3", "alexnet_conv4", "alexnet_conv5"]),
+        (
+            "MapD",
+            &[
+                "alexnet_conv1",
+                "alexnet_conv2",
+                "alexnet_conv3",
+                "alexnet_conv4",
+            ],
+        ),
+        (
+            "MapE",
+            &[
+                "alexnet_conv2",
+                "alexnet_conv3",
+                "alexnet_conv4",
+                "alexnet_conv5",
+            ],
+        ),
+    ];
+    let maeri = CrossLayerMapper::new(paper_config());
+    let cluster = FixedClusterArray::paper_baseline();
+    maps.into_iter()
+        .map(|(name, names)| {
+            let chain: Vec<ConvLayer> = names.iter().map(|n| alexnet_conv(n)).collect();
+            Fig14Row {
+                name: name.to_owned(),
+                layers: names.iter().map(|s| (*s).to_owned()).collect(),
+                maeri: maeri.run(&chain).expect("fused chain mappable"),
+                cluster: cluster.run_fused(&chain).expect("fused chain mappable"),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 15
+
+/// The three reduction networks compared in Figure 15 (64 PEs).
+#[must_use]
+pub fn figure15() -> Vec<(String, Vec<(usize, f64)>)> {
+    let kinds = [
+        ReductionKind::Art,
+        ReductionKind::FatTree,
+        ReductionKind::PlainTrees {
+            width: 16,
+            count: 4,
+        },
+    ];
+    kinds
+        .into_iter()
+        .map(|kind| (kind.name(), utilization_sweep(kind, 64)))
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 16
+
+/// One NoC PPA point of Figure 16.
+#[derive(Debug, Clone)]
+pub struct Fig16Row {
+    /// Aggregate bandwidth in words/cycle.
+    pub bandwidth: usize,
+    /// `(noc, ppa)` for the four designs.
+    pub designs: Vec<(NocKind, NocPpa)>,
+}
+
+/// Area/power of the four NoCs at 64 terminals over a bandwidth sweep.
+#[must_use]
+pub fn figure16() -> Vec<Fig16Row> {
+    [1usize, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .map(|bandwidth| Fig16Row {
+            bandwidth,
+            designs: compare_all(64, bandwidth),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------- fig 17
+
+/// The Figure 17 / Section 6.3 walk-through results.
+#[derive(Debug, Clone)]
+pub struct Fig17Report {
+    /// 8x8 weight-stationary systolic array (paper: 156 cycles, 1323
+    /// reads).
+    pub systolic: AnalyticResult,
+    /// 64-MS MAERI under the bandwidth-consistent rule (140 cycles,
+    /// 516 reads).
+    pub maeri: AnalyticResult,
+    /// The paper's literally stated decomposition (143 cycles).
+    pub maeri_paper_stated: AnalyticResult,
+    /// SRAM-read ratio (systolic / MAERI) for the 256x256 scale-up on
+    /// VGG-16 (paper: 6.3x fewer reads for MAERI).
+    pub vgg16_read_ratio_256: f64,
+}
+
+/// Runs the deep-dive comparison.
+#[must_use]
+pub fn figure17() -> Fig17Report {
+    let layer = analytic::example_layer();
+    let vgg = zoo::vgg16();
+    let mut sa_reads = 0u64;
+    let mut maeri_reads = 0u64;
+    for conv in vgg.conv_layers() {
+        sa_reads += analytic::systolic_example(conv, 256, 256).sram_reads;
+        maeri_reads += analytic::maeri_example(conv, 256 * 256, 256).sram_reads;
+    }
+    Fig17Report {
+        systolic: analytic::systolic_example(&layer, 8, 8),
+        maeri: analytic::maeri_example(&layer, 64, 8),
+        maeri_paper_stated: analytic::maeri_example_paper_stated(),
+        vgg16_read_ratio_256: sa_reads as f64 / maeri_reads as f64,
+    }
+}
+
+// ----------------------------------------------------------- tables / fig 11
+
+/// The Table 3 design points.
+#[must_use]
+pub fn table3() -> Vec<DesignPoint> {
+    DesignPoint::table3()
+}
+
+/// Figure 11(e): core (PE-array) area versus PE count, normalized to
+/// the 16-PE systolic array. Returns `(pes, systolic, maeri, eyeriss)`.
+#[must_use]
+pub fn figure11_scaling() -> Vec<(usize, f64, f64, f64)> {
+    use maeri_ppa::AcceleratorKind;
+    let mk = |kind, n: usize, local: usize| DesignPoint {
+        kind,
+        num_pes: n,
+        local_bytes: local,
+        pb_kb: 80,
+    };
+    let base = mk(AcceleratorKind::SystolicArray, 16, 0).core_area_um2();
+    [16usize, 32, 64, 128, 256]
+        .into_iter()
+        .map(|n| {
+            (
+                n,
+                mk(AcceleratorKind::SystolicArray, n, 0).core_area_um2() / base,
+                mk(AcceleratorKind::Maeri, n, 512).core_area_um2() / base,
+                mk(AcceleratorKind::Eyeriss, n, 512).core_area_um2() / base,
+            )
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- headline
+
+/// Utilization-improvement observations across all dataflow
+/// experiments: `(experiment, maeri utilization, baseline utilization,
+/// improvement %)`. The paper's abstract quotes 8-459 % across its
+/// mappings.
+#[must_use]
+pub fn headline_improvements() -> Vec<(String, f64, f64, f64)> {
+    let mut out = Vec::new();
+    let mut push = |label: String, maeri: f64, baseline: f64| {
+        if baseline > 0.0 {
+            out.push((label, maeri, baseline, (maeri / baseline - 1.0) * 100.0));
+        }
+    };
+    for row in figure12() {
+        push(
+            format!("{} vs systolic", row.layer),
+            row.maeri.utilization(),
+            row.systolic.utilization(),
+        );
+        push(
+            format!("{} vs row-stationary", row.layer),
+            row.maeri.utilization(),
+            row.row_stationary.utilization(),
+        );
+    }
+    for row in figure13() {
+        push(
+            format!("vgg16_c8 @{}% sparse vs clusters", row.sparsity_pct),
+            row.maeri_1x.utilization(),
+            row.cluster.utilization(),
+        );
+    }
+    for row in figure14() {
+        push(
+            format!("{} fused vs clusters", row.name),
+            row.maeri.utilization(),
+            row.cluster.utilization(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure12_has_ten_layers_and_maeri_wins_on_3x3() {
+        let rows = figure12();
+        assert_eq!(rows.len(), 10);
+        for row in &rows {
+            // Same work on every design.
+            assert_eq!(row.maeri.macs, row.systolic.macs);
+            assert_eq!(row.maeri.macs, row.row_stationary.macs);
+            if row.layer.contains("vgg") {
+                assert!(row.maeri.cycles < row.systolic.cycles, "{}", row.layer);
+                assert!(
+                    row.maeri.cycles < row.row_stationary.cycles,
+                    "{}",
+                    row.layer
+                );
+                assert!(row.maeri.utilization() > 0.9, "{}", row.layer);
+            }
+        }
+    }
+
+    #[test]
+    fn figure12_average_speedup_in_paper_band() {
+        // Paper: 72.4% average speedup. Accept a generous band around
+        // it — the shape claim is "MAERI is decisively faster overall".
+        let rows = figure12();
+        let mean = figure12_mean_speedup(&rows);
+        assert!(
+            (1.4..=2.3).contains(&mean),
+            "mean speedup {mean} outside band"
+        );
+    }
+
+    #[test]
+    fn figure13_speedup_grows_with_sparsity() {
+        let rows = figure13();
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        let s0 = first.cluster.cycles.as_f64() / first.maeri_1x.cycles.as_f64();
+        let s50 = last.cluster.cycles.as_f64() / last.maeri_1x.cycles.as_f64();
+        assert!(s50 > s0 + 0.5, "speedup must grow: {s0} -> {s50}");
+        assert!(s50 >= 3.0, "50% sparse speedup {s50}");
+        // Paper: 73.8% utilization at 50% sparsity.
+        let util = last.maeri_1x.utilization();
+        assert!((util - 0.738).abs() < 0.08, "util {util}");
+        // 0.25x bandwidth throttles MAERI heavily.
+        assert!(last.maeri_quarter.cycles.as_u64() > 2 * last.maeri_1x.cycles.as_u64());
+    }
+
+    #[test]
+    fn figure14_speedups_in_paper_band() {
+        // Paper: 1.08-1.5x with MapC the largest win. Our consistent
+        // multicast-sharing model lands ~1.5x higher in magnitude but
+        // preserves the ordering (MapC max, MapA min).
+        let rows = figure14();
+        for row in &rows {
+            let s = row.speedup();
+            assert!(
+                (1.0..=2.6).contains(&s),
+                "{} speedup {s} outside band",
+                row.name
+            );
+        }
+        let max_row = rows
+            .iter()
+            .max_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+            .unwrap();
+        assert_eq!(max_row.name, "MapC", "paper's best map is MapC");
+        assert!(max_row.speedup() >= 1.5);
+    }
+
+    #[test]
+    fn figure15_art_dominates() {
+        let curves = figure15();
+        assert_eq!(curves.len(), 3);
+        let art = &curves[0].1;
+        for (name, curve) in &curves[1..] {
+            for ((vn, art_util), (_, other_util)) in art.iter().zip(curve) {
+                assert!(
+                    art_util + 1e-12 >= *other_util,
+                    "{name} beats ART at vn={vn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure16_maeri_cheapest_vs_switched_nocs() {
+        for row in figure16() {
+            let maeri = row
+                .designs
+                .iter()
+                .find(|(k, _)| *k == NocKind::MaeriTrees)
+                .unwrap()
+                .1;
+            for (kind, ppa) in &row.designs {
+                if matches!(kind, NocKind::Mesh | NocKind::Crossbar) {
+                    assert!(maeri.area_um2 < ppa.area_um2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure17_matches_paper_numbers() {
+        let report = figure17();
+        assert_eq!(report.systolic.cycles, 156);
+        assert_eq!(report.systolic.sram_reads, 1323);
+        assert_eq!(report.maeri_paper_stated.cycles, 143);
+        assert_eq!(report.maeri.sram_reads, 516);
+        assert!(report.maeri.cycles < report.systolic.cycles);
+        // Scale-up: MAERI reads several times fewer on VGG-16.
+        assert!(
+            report.vgg16_read_ratio_256 > 1.5,
+            "read ratio {}",
+            report.vgg16_read_ratio_256
+        );
+    }
+
+    #[test]
+    fn headline_has_large_positive_improvements() {
+        let improvements = headline_improvements();
+        assert!(improvements.len() > 20);
+        let max = improvements
+            .iter()
+            .map(|(_, _, _, pct)| *pct)
+            .fold(f64::MIN, f64::max);
+        assert!(max > 100.0, "max improvement {max}%");
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark harness: one module per table/figure of the paper's
+//! evaluation, plus report formatting.
+//!
+//! Each experiment lives in [`experiments`] as a plain function that
+//! returns structured results; the `src/bin/*` binaries print them as
+//! text tables next to the paper's reported values, and the workspace
+//! integration tests assert the headline bands (who wins, by roughly
+//! what factor) hold.
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — DNN parameter survey |
+//! | `table3` | Table 3 — design points |
+//! | `figure11` | Fig. 11 — area/power breakdowns and scaling |
+//! | `figure12` | Fig. 12 — dense CONV latency & utilization |
+//! | `figure13` | Fig. 13 — sparse VGG16-C8 latency vs sparsity |
+//! | `figure14` | Fig. 14 — cross-layer fusion speedups |
+//! | `figure15` | Fig. 15 — ART vs fat tree vs plain trees |
+//! | `figure16` | Fig. 16 — NoC area/power vs bandwidth |
+//! | `figure17` | Fig. 17 — systolic vs MAERI walk-through |
+//! | `headline` | abstract's 8-459 % utilization-improvement range |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,55 @@
+//! Report formatting shared by the figure binaries.
+
+use maeri_sim::table::Table;
+
+/// Prints a standard experiment header: what is being regenerated and
+/// where it appears in the paper.
+pub fn header(artifact: &str, paper_claim: &str) {
+    println!("================================================================");
+    println!("MAERI reproduction — {artifact}");
+    println!("Paper reference: {paper_claim}");
+    println!("================================================================");
+}
+
+/// Prints a table with a short section caption.
+pub fn section(caption: &str, table: &Table) {
+    println!("\n-- {caption} --");
+    print!("{table}");
+}
+
+/// Prints the paper-vs-measured comparison lines at the end of a
+/// report.
+pub fn summary(lines: &[String]) {
+    println!("\nPaper vs measured:");
+    for line in lines {
+        println!("  * {line}");
+    }
+    println!();
+}
+
+/// Formats a cycle count with thousands separators for readability.
+#[must_use]
+pub fn cycles(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_formats_thousands() {
+        assert_eq!(cycles(0), "0");
+        assert_eq!(cycles(156), "156");
+        assert_eq!(cycles(1323), "1,323");
+        assert_eq!(cycles(14827529), "14,827,529");
+    }
+}

@@ -1,0 +1,185 @@
+//! im2col + GEMM: the alternative convolution formulation.
+//!
+//! Many accelerators (and the systolic-array baseline) treat a
+//! convolution as a matrix multiply over an *im2col* expansion of the
+//! input. This module provides that path as a second, independent
+//! reference implementation — the test suite checks it agrees with the
+//! direct loop nest in [`crate::reference`], which guards both against
+//! indexing bugs.
+
+use crate::layer::ConvLayer;
+use crate::tensor::Tensor;
+
+/// Expands a `[C, H, W]` input into the im2col matrix
+/// `[C*R*S, P*Q]`: column `j` holds the receptive field of output
+/// position `j` (row-major over `P x Q`), padded positions as zeros.
+///
+/// # Panics
+///
+/// Panics if the input shape does not match the layer.
+#[must_use]
+pub fn im2col(layer: &ConvLayer, input: &Tensor) -> Tensor {
+    assert_eq!(
+        input.shape(),
+        &[layer.in_channels, layer.in_h, layer.in_w],
+        "input shape mismatch"
+    );
+    let (p, q) = (layer.out_h(), layer.out_w());
+    let rows = layer.filter_volume();
+    let cols = p * q;
+    let mut out = Tensor::zeros(&[rows, cols]);
+    for c in 0..layer.in_channels {
+        for r in 0..layer.kernel_h {
+            for s in 0..layer.kernel_w {
+                let row = (c * layer.kernel_h + r) * layer.kernel_w + s;
+                for oy in 0..p {
+                    for ox in 0..q {
+                        let iy = oy * layer.stride + r;
+                        let ix = ox * layer.stride + s;
+                        if iy < layer.pad || ix < layer.pad {
+                            continue;
+                        }
+                        let (iy, ix) = (iy - layer.pad, ix - layer.pad);
+                        if iy >= layer.in_h || ix >= layer.in_w {
+                            continue;
+                        }
+                        out.set(&[row, oy * q + ox], input.get(&[c, iy, ix]));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Plain matrix multiply: `[m, k] x [k, n] -> [m, n]`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().len(), 2, "matmul needs 2-D operands");
+    assert_eq!(b.shape().len(), 2, "matmul needs 2-D operands");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "inner dimensions {k} vs {k2}");
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for l in 0..k {
+                acc += a.get(&[i, l]) * b.get(&[l, j]);
+            }
+            out.set(&[i, j], acc);
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + GEMM, returning `[K, P, Q]` like
+/// [`crate::reference::conv2d`].
+///
+/// # Panics
+///
+/// Panics if tensor shapes do not match the layer.
+#[must_use]
+pub fn conv2d_gemm(layer: &ConvLayer, input: &Tensor, weights: &Tensor) -> Tensor {
+    assert_eq!(
+        weights.shape(),
+        &[
+            layer.out_channels,
+            layer.in_channels,
+            layer.kernel_h,
+            layer.kernel_w
+        ],
+        "weight shape mismatch"
+    );
+    let cols = im2col(layer, input);
+    // Weights flatten to [K, C*R*S] in the same (c, r, s) order im2col
+    // uses for its rows.
+    let flat = Tensor::from_vec(
+        &[layer.out_channels, layer.filter_volume()],
+        weights.as_slice().to_vec(),
+    );
+    let product = matmul(&flat, &cols);
+    Tensor::from_vec(
+        &[layer.out_channels, layer.out_h(), layer.out_w()],
+        product.as_slice().to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use maeri_sim::SimRng;
+
+    #[test]
+    fn im2col_shape_and_content() {
+        // 1-channel 3x3 input, 2x2 kernel, stride 1: 4 columns of 4.
+        let layer = ConvLayer::new("c", 1, 3, 3, 1, 2, 2, 1, 0);
+        let input = Tensor::from_fn(&[1, 3, 3], |i| (i[1] * 3 + i[2]) as f32);
+        let cols = im2col(&layer, &input);
+        assert_eq!(cols.shape(), &[4, 4]);
+        // First column = top-left window [0, 1, 3, 4].
+        assert_eq!(
+            (0..4).map(|r| cols.get(&[r, 0])).collect::<Vec<_>>(),
+            vec![0.0, 1.0, 3.0, 4.0]
+        );
+        // Last column = bottom-right window [4, 5, 7, 8].
+        assert_eq!(
+            (0..4).map(|r| cols.get(&[r, 3])).collect::<Vec<_>>(),
+            vec![4.0, 5.0, 7.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn im2col_zero_pads_borders() {
+        let layer = ConvLayer::new("c", 1, 2, 2, 1, 3, 3, 1, 1);
+        let input = Tensor::from_vec(&[1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let cols = im2col(&layer, &input);
+        // Output is 2x2; first column is the window centered at (0,0):
+        // top row and left column are padding zeros.
+        let first: Vec<f32> = (0..9).map(|r| cols.get(&[r, 0])).collect();
+        assert_eq!(first, vec![0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(&[2, 2], vec![1.0, 0.0, 0.0, 1.0]);
+        let b = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(matmul(&a, &b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn gemm_conv_equals_direct_conv() {
+        for (c, hw, k_out, k, s, p) in [
+            (1usize, 5usize, 2usize, 3usize, 1usize, 0usize),
+            (3, 8, 4, 3, 1, 1),
+            (2, 9, 3, 3, 2, 1),
+            (4, 6, 2, 1, 1, 0),
+            (2, 7, 2, 5, 1, 2),
+        ] {
+            let layer = ConvLayer::new("g", c, hw, hw, k_out, k, k, s, p);
+            let mut rng = SimRng::seed(17);
+            let input = Tensor::random(&[c, hw, hw], &mut rng);
+            let weights = Tensor::random(&[k_out, c, k, k], &mut rng);
+            let direct = reference::conv2d(&layer, &input, &weights);
+            let gemm = conv2d_gemm(&layer, &input, &weights);
+            assert!(
+                direct.max_abs_diff(&gemm) < 1e-4,
+                "mismatch for {layer}: {}",
+                direct.max_abs_diff(&gemm)
+            );
+        }
+    }
+}

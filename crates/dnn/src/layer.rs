@@ -1,0 +1,540 @@
+//! Layer descriptors: CONV, FC, POOL, LSTM.
+//!
+//! Descriptors carry only shape information; tensors are supplied
+//! separately. All accelerator models in this workspace consume these
+//! descriptors.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution layer.
+///
+/// Uses the paper's naming for the loop bounds: `K` output channels,
+/// `C` input channels, `R x S` filters, `P x Q` output feature map.
+///
+/// # Example
+///
+/// ```
+/// use maeri_dnn::ConvLayer;
+///
+/// // VGG-16 conv layers use 3x3 filters.
+/// let c = ConvLayer::new("vgg_c8", 256, 28, 28, 512, 3, 3, 1, 1);
+/// assert_eq!(c.out_h(), 28);
+/// assert_eq!(c.filter_volume(), 3 * 3 * 256);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayer {
+    /// Human-readable layer name, e.g. `"alexnet_conv1"`.
+    pub name: String,
+    /// Input channels (`C`).
+    pub in_channels: usize,
+    /// Input feature-map height.
+    pub in_h: usize,
+    /// Input feature-map width.
+    pub in_w: usize,
+    /// Output channels / number of filters (`K`).
+    pub out_channels: usize,
+    /// Filter height (`R`).
+    pub kernel_h: usize,
+    /// Filter width (`S`).
+    pub kernel_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvLayer {
+    /// Creates a convolution layer descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the stride is zero, or if the padded
+    /// input is smaller than the filter.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn new(
+        name: &str,
+        in_channels: usize,
+        in_h: usize,
+        in_w: usize,
+        out_channels: usize,
+        kernel_h: usize,
+        kernel_w: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        assert!(
+            in_channels > 0 && in_h > 0 && in_w > 0 && out_channels > 0,
+            "conv dimensions must be positive"
+        );
+        assert!(kernel_h > 0 && kernel_w > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            in_h + 2 * pad >= kernel_h && in_w + 2 * pad >= kernel_w,
+            "padded input {}x{} smaller than kernel {}x{}",
+            in_h + 2 * pad,
+            in_w + 2 * pad,
+            kernel_h,
+            kernel_w
+        );
+        ConvLayer {
+            name: name.to_owned(),
+            in_channels,
+            in_h,
+            in_w,
+            out_channels,
+            kernel_h,
+            kernel_w,
+            stride,
+            pad,
+        }
+    }
+
+    /// Output feature-map height (`P`).
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output feature-map width (`Q`).
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel_w) / self.stride + 1
+    }
+
+    /// Weights in one full 3-D filter (`R*S*C`). This is the virtual
+    /// neuron size MAERI uses for a dense mapping.
+    #[must_use]
+    pub fn filter_volume(&self) -> usize {
+        self.kernel_h * self.kernel_w * self.in_channels
+    }
+
+    /// Weights in one filter row across channels (`S*C`).
+    #[must_use]
+    pub fn filter_row_volume(&self) -> usize {
+        self.kernel_w * self.in_channels
+    }
+
+    /// Total weights in the layer (`K*C*R*S`).
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        self.out_channels * self.filter_volume()
+    }
+
+    /// Total output activations (`K*P*Q`).
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.out_channels * self.out_h() * self.out_w()
+    }
+
+    /// Total input activations (`C*H*W`).
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.in_channels * self.in_h * self.in_w
+    }
+
+    /// Total multiply-accumulate operations (`K*P*Q*R*S*C`).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.output_count() as u64 * self.filter_volume() as u64
+    }
+}
+
+impl fmt::Display for ConvLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: CONV {}x{}x{} -> {} filters {}x{} stride {} pad {}",
+            self.name,
+            self.in_channels,
+            self.in_h,
+            self.in_w,
+            self.out_channels,
+            self.kernel_h,
+            self.kernel_w,
+            self.stride,
+            self.pad
+        )
+    }
+}
+
+/// A fully-connected layer: `outputs = W (outputs x inputs) * inputs`.
+///
+/// # Example
+///
+/// ```
+/// use maeri_dnn::FcLayer;
+///
+/// let fc = FcLayer::new("alexnet_fc6", 9216, 4096);
+/// assert_eq!(fc.macs(), 9216 * 4096);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FcLayer {
+    /// Layer name.
+    pub name: String,
+    /// Input vector length.
+    pub inputs: usize,
+    /// Output vector length.
+    pub outputs: usize,
+}
+
+impl FcLayer {
+    /// Creates a fully-connected layer descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` or `outputs` is zero.
+    #[must_use]
+    pub fn new(name: &str, inputs: usize, outputs: usize) -> Self {
+        assert!(inputs > 0 && outputs > 0, "fc dimensions must be positive");
+        FcLayer {
+            name: name.to_owned(),
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Total MACs (`inputs * outputs`).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.inputs as u64 * self.outputs as u64
+    }
+}
+
+impl fmt::Display for FcLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: FC {} -> {}", self.name, self.inputs, self.outputs)
+    }
+}
+
+/// A max-pooling layer.
+///
+/// # Example
+///
+/// ```
+/// use maeri_dnn::PoolLayer;
+///
+/// let p = PoolLayer::new("pool1", 96, 55, 55, 3, 2);
+/// assert_eq!(p.out_h(), 27);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PoolLayer {
+    /// Layer name.
+    pub name: String,
+    /// Channels.
+    pub channels: usize,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+    /// Pooling window (square).
+    pub window: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl PoolLayer {
+    /// Creates a pooling layer descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension, the window, or the stride is zero, or
+    /// if the window is larger than the input.
+    #[must_use]
+    pub fn new(
+        name: &str,
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+        window: usize,
+        stride: usize,
+    ) -> Self {
+        assert!(
+            channels > 0 && in_h > 0 && in_w > 0,
+            "pool dimensions must be positive"
+        );
+        assert!(window > 0 && stride > 0, "window/stride must be positive");
+        assert!(
+            window <= in_h && window <= in_w,
+            "pooling window larger than input"
+        );
+        PoolLayer {
+            name: name.to_owned(),
+            channels,
+            in_h,
+            in_w,
+            window,
+            stride,
+        }
+    }
+
+    /// Output height.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        (self.in_h - self.window) / self.stride + 1
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        (self.in_w - self.window) / self.stride + 1
+    }
+
+    /// Comparisons performed (window size minus one per output).
+    #[must_use]
+    pub fn comparisons(&self) -> u64 {
+        let per_output = (self.window * self.window - 1) as u64;
+        per_output * (self.channels * self.out_h() * self.out_w()) as u64
+    }
+}
+
+impl fmt::Display for PoolLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: POOL {}x{}x{} window {} stride {}",
+            self.name, self.channels, self.in_h, self.in_w, self.window, self.stride
+        )
+    }
+}
+
+/// An LSTM layer (per Section 4.3 of the paper: forget/input/output
+/// gates plus input transform, then state and output computation).
+///
+/// # Example
+///
+/// ```
+/// use maeri_dnn::LstmLayer;
+///
+/// let l = LstmLayer::new("ds2_rnn", 1280, 800);
+/// // 4 gates, each over [x; h_prev]:
+/// assert_eq!(l.gate_macs(), 4 * (1280 + 800) as u64 * 800);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LstmLayer {
+    /// Layer name.
+    pub name: String,
+    /// Input vector length.
+    pub input_dim: usize,
+    /// Hidden-state length (one per neuron).
+    pub hidden_dim: usize,
+}
+
+impl LstmLayer {
+    /// Creates an LSTM layer descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(name: &str, input_dim: usize, hidden_dim: usize) -> Self {
+        assert!(
+            input_dim > 0 && hidden_dim > 0,
+            "lstm dimensions must be positive"
+        );
+        LstmLayer {
+            name: name.to_owned(),
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// MACs in step 1+2 (gate values and input transform): four weight
+    /// matrices over the concatenated `[x; h_prev]` vector.
+    #[must_use]
+    pub fn gate_macs(&self) -> u64 {
+        4 * (self.input_dim + self.hidden_dim) as u64 * self.hidden_dim as u64
+    }
+
+    /// Multiplies in step 3+4 (state and output): per neuron,
+    /// `f*s_prev + i*t` (2 multiplies) and `o * tanh(s)` (1 multiply).
+    #[must_use]
+    pub fn state_macs(&self) -> u64 {
+        3 * self.hidden_dim as u64
+    }
+}
+
+impl fmt::Display for LstmLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: LSTM in {} hidden {}",
+            self.name, self.input_dim, self.hidden_dim
+        )
+    }
+}
+
+/// Any supported layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Layer {
+    /// Convolution.
+    Conv(ConvLayer),
+    /// Fully-connected.
+    Fc(FcLayer),
+    /// Max pooling.
+    Pool(PoolLayer),
+    /// LSTM recurrent layer.
+    Lstm(LstmLayer),
+}
+
+impl Layer {
+    /// The layer's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Layer::Conv(l) => &l.name,
+            Layer::Fc(l) => &l.name,
+            Layer::Pool(l) => &l.name,
+            Layer::Lstm(l) => &l.name,
+        }
+    }
+
+    /// Total MAC operations (comparisons for pooling).
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        match self {
+            Layer::Conv(l) => l.macs(),
+            Layer::Fc(l) => l.macs(),
+            Layer::Pool(l) => l.comparisons(),
+            Layer::Lstm(l) => l.gate_macs() + l.state_macs(),
+        }
+    }
+
+    /// A short kind tag (`"CONV"`, `"FC"`, `"POOL"`, `"LSTM"`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Layer::Conv(_) => "CONV",
+            Layer::Fc(_) => "FC",
+            Layer::Pool(_) => "POOL",
+            Layer::Lstm(_) => "LSTM",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layer::Conv(l) => l.fmt(f),
+            Layer::Fc(l) => l.fmt(f),
+            Layer::Pool(l) => l.fmt(f),
+            Layer::Lstm(l) => l.fmt(f),
+        }
+    }
+}
+
+impl From<ConvLayer> for Layer {
+    fn from(layer: ConvLayer) -> Self {
+        Layer::Conv(layer)
+    }
+}
+
+impl From<FcLayer> for Layer {
+    fn from(layer: FcLayer) -> Self {
+        Layer::Fc(layer)
+    }
+}
+
+impl From<PoolLayer> for Layer {
+    fn from(layer: PoolLayer) -> Self {
+        Layer::Pool(layer)
+    }
+}
+
+impl From<LstmLayer> for Layer {
+    fn from(layer: LstmLayer) -> Self {
+        Layer::Lstm(layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv1_shape() {
+        // 224x224x3 input, 96 11x11 filters, stride 4, pad 2 -> 55x55.
+        let c = ConvLayer::new("c1", 3, 224, 224, 96, 11, 11, 4, 2);
+        assert_eq!(c.out_h(), 55);
+        assert_eq!(c.out_w(), 55);
+        assert_eq!(c.filter_volume(), 363);
+        assert_eq!(c.macs(), 96 * 55 * 55 * 363);
+    }
+
+    #[test]
+    fn paper_example_conv_shape() {
+        // Fig. 17: eight 3x3x3 filters over 5x5x3 input, stride 1.
+        let c = ConvLayer::new("fig17", 3, 5, 5, 8, 3, 3, 1, 0);
+        assert_eq!(c.out_h(), 3);
+        assert_eq!(c.out_w(), 3);
+        assert_eq!(c.filter_volume(), 27);
+        assert_eq!(c.weight_count(), 216);
+    }
+
+    #[test]
+    fn conv_counts() {
+        let c = ConvLayer::new("x", 2, 4, 4, 3, 2, 2, 1, 0);
+        assert_eq!(c.output_count(), 3 * 3 * 3);
+        assert_eq!(c.input_count(), 2 * 4 * 4);
+        assert_eq!(c.filter_row_volume(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than kernel")]
+    fn conv_kernel_too_big_panics() {
+        let _ = ConvLayer::new("bad", 1, 2, 2, 1, 5, 5, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn conv_zero_stride_panics() {
+        let _ = ConvLayer::new("bad", 1, 4, 4, 1, 2, 2, 0, 0);
+    }
+
+    #[test]
+    fn pool_shape() {
+        let p = PoolLayer::new("p", 64, 112, 112, 2, 2);
+        assert_eq!(p.out_h(), 56);
+        assert_eq!(p.out_w(), 56);
+        assert_eq!(p.comparisons(), 3 * 64 * 56 * 56);
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger than input")]
+    fn pool_window_too_big_panics() {
+        let _ = PoolLayer::new("bad", 1, 2, 2, 3, 1);
+    }
+
+    #[test]
+    fn fc_and_lstm_work() {
+        let fc = FcLayer::new("fc", 100, 10);
+        assert_eq!(fc.macs(), 1000);
+        let lstm = LstmLayer::new("l", 8, 4);
+        assert_eq!(lstm.gate_macs(), 4 * 12 * 4);
+        assert_eq!(lstm.state_macs(), 12);
+    }
+
+    #[test]
+    fn layer_enum_dispatch() {
+        let layers: Vec<Layer> = vec![
+            ConvLayer::new("c", 1, 4, 4, 1, 2, 2, 1, 0).into(),
+            FcLayer::new("f", 4, 2).into(),
+            PoolLayer::new("p", 1, 4, 4, 2, 2).into(),
+            LstmLayer::new("l", 2, 2).into(),
+        ];
+        let kinds: Vec<&str> = layers.iter().map(Layer::kind).collect();
+        assert_eq!(kinds, vec!["CONV", "FC", "POOL", "LSTM"]);
+        assert!(layers.iter().all(|l| l.work() > 0));
+        assert_eq!(layers[1].name(), "f");
+    }
+
+    #[test]
+    fn display_strings_mention_name() {
+        let c = ConvLayer::new("myconv", 1, 4, 4, 1, 2, 2, 1, 0);
+        assert!(c.to_string().contains("myconv"));
+        assert!(Layer::from(c).to_string().contains("CONV"));
+    }
+}

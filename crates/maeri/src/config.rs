@@ -1,0 +1,233 @@
+//! MAERI fabric configuration.
+
+use maeri_noc::{BinaryTree, ChubbyTree};
+use maeri_sim::util::is_pow2;
+use maeri_sim::{Result, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one MAERI instance.
+///
+/// Mirrors the knobs of the paper's implementation (Section 5): the
+/// number of multiplier switches, the chubby bandwidth at the root of
+/// the distribution tree and of the ART, and the depth of the local
+/// buffers in each multiplier switch (which bounds folding).
+///
+/// Use [`MaeriConfig::builder`] to construct one:
+///
+/// ```
+/// use maeri::MaeriConfig;
+///
+/// let cfg = MaeriConfig::builder(64)
+///     .distribution_bandwidth(8)
+///     .collection_bandwidth(8)
+///     .build()?;
+/// assert_eq!(cfg.num_mult_switches(), 64);
+/// # Ok::<(), maeri_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MaeriConfig {
+    num_mult_switches: usize,
+    dist_bandwidth: usize,
+    collect_bandwidth: usize,
+    ms_local_buffers: usize,
+}
+
+impl MaeriConfig {
+    /// Starts building a configuration with `num_mult_switches` leaves.
+    #[must_use]
+    pub fn builder(num_mult_switches: usize) -> MaeriConfigBuilder {
+        MaeriConfigBuilder {
+            num_mult_switches,
+            dist_bandwidth: 8,
+            collect_bandwidth: 8,
+            ms_local_buffers: 4,
+        }
+    }
+
+    /// The paper's 64-multiplier evaluation fabric with an 8x chubby
+    /// distribution tree (Sections 6.1-6.3).
+    #[must_use]
+    pub fn paper_64() -> Self {
+        MaeriConfig::builder(64)
+            .build()
+            .expect("paper configuration is valid")
+    }
+
+    /// Number of multiplier switches (leaves of both trees).
+    #[must_use]
+    pub fn num_mult_switches(&self) -> usize {
+        self.num_mult_switches
+    }
+
+    /// Words per cycle the prefetch buffer injects into the
+    /// distribution tree (root chubby bandwidth).
+    #[must_use]
+    pub fn dist_bandwidth(&self) -> usize {
+        self.dist_bandwidth
+    }
+
+    /// Words per cycle the ART can deliver back to the prefetch buffer
+    /// (root chubby bandwidth of the reduce/collect network).
+    #[must_use]
+    pub fn collect_bandwidth(&self) -> usize {
+        self.collect_bandwidth
+    }
+
+    /// Local buffer slots per multiplier switch; a virtual neuron can be
+    /// folded at most this many ways (Section 4.8).
+    #[must_use]
+    pub fn ms_local_buffers(&self) -> usize {
+        self.ms_local_buffers
+    }
+
+    /// The shared tree skeleton of both networks.
+    #[must_use]
+    pub fn tree(&self) -> BinaryTree {
+        BinaryTree::with_leaves(self.num_mult_switches).expect("validated at build time")
+    }
+
+    /// The distribution network's chubby bandwidth profile.
+    #[must_use]
+    pub fn distribution_chubby(&self) -> ChubbyTree {
+        ChubbyTree::new(self.tree(), self.dist_bandwidth).expect("validated at build time")
+    }
+
+    /// The ART's chubby bandwidth profile.
+    #[must_use]
+    pub fn collection_chubby(&self) -> ChubbyTree {
+        ChubbyTree::new(self.tree(), self.collect_bandwidth).expect("validated at build time")
+    }
+
+    /// Pipeline depth of the ART (adder levels), which bounds the fill
+    /// latency of a reduction wave.
+    #[must_use]
+    pub fn art_depth(&self) -> usize {
+        maeri_sim::util::log2(self.num_mult_switches) as usize
+    }
+}
+
+/// Builder for [`MaeriConfig`].
+#[derive(Debug, Clone)]
+pub struct MaeriConfigBuilder {
+    num_mult_switches: usize,
+    dist_bandwidth: usize,
+    collect_bandwidth: usize,
+    ms_local_buffers: usize,
+}
+
+impl MaeriConfigBuilder {
+    /// Sets the distribution-tree root bandwidth (words/cycle).
+    #[must_use]
+    pub fn distribution_bandwidth(mut self, words_per_cycle: usize) -> Self {
+        self.dist_bandwidth = words_per_cycle;
+        self
+    }
+
+    /// Sets the ART root (collection) bandwidth (words/cycle).
+    #[must_use]
+    pub fn collection_bandwidth(mut self, words_per_cycle: usize) -> Self {
+        self.collect_bandwidth = words_per_cycle;
+        self
+    }
+
+    /// Sets the per-multiplier-switch local buffer depth.
+    #[must_use]
+    pub fn ms_local_buffers(mut self, slots: usize) -> Self {
+        self.ms_local_buffers = slots;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the multiplier count is
+    /// not a power of two >= 4, a bandwidth is not a power of two within
+    /// the leaf count, or the buffer depth is zero.
+    pub fn build(self) -> Result<MaeriConfig> {
+        if !is_pow2(self.num_mult_switches) || self.num_mult_switches < 4 {
+            return Err(SimError::invalid_config(format!(
+                "multiplier switches must be a power of two >= 4, got {}",
+                self.num_mult_switches
+            )));
+        }
+        for (label, bw) in [
+            ("distribution", self.dist_bandwidth),
+            ("collection", self.collect_bandwidth),
+        ] {
+            if !is_pow2(bw) || bw > self.num_mult_switches {
+                return Err(SimError::invalid_config(format!(
+                    "{label} bandwidth must be a power of two <= {}, got {bw}",
+                    self.num_mult_switches
+                )));
+            }
+        }
+        if self.ms_local_buffers == 0 {
+            return Err(SimError::invalid_config(
+                "multiplier switches need at least one local buffer slot",
+            ));
+        }
+        Ok(MaeriConfig {
+            num_mult_switches: self.num_mult_switches,
+            dist_bandwidth: self.dist_bandwidth,
+            collect_bandwidth: self.collect_bandwidth,
+            ms_local_buffers: self.ms_local_buffers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config() {
+        let cfg = MaeriConfig::paper_64();
+        assert_eq!(cfg.num_mult_switches(), 64);
+        assert_eq!(cfg.dist_bandwidth(), 8);
+        assert_eq!(cfg.collect_bandwidth(), 8);
+        assert_eq!(cfg.art_depth(), 6);
+        assert_eq!(cfg.tree().num_leaves(), 64);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = MaeriConfig::builder(256)
+            .distribution_bandwidth(16)
+            .collection_bandwidth(4)
+            .ms_local_buffers(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.num_mult_switches(), 256);
+        assert_eq!(cfg.dist_bandwidth(), 16);
+        assert_eq!(cfg.collect_bandwidth(), 4);
+        assert_eq!(cfg.ms_local_buffers(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(MaeriConfig::builder(0).build().is_err());
+        assert!(MaeriConfig::builder(2).build().is_err());
+        assert!(MaeriConfig::builder(48).build().is_err());
+        assert!(MaeriConfig::builder(64)
+            .distribution_bandwidth(3)
+            .build()
+            .is_err());
+        assert!(MaeriConfig::builder(64)
+            .collection_bandwidth(128)
+            .build()
+            .is_err());
+        assert!(MaeriConfig::builder(64).ms_local_buffers(0).build().is_err());
+    }
+
+    #[test]
+    fn chubby_profiles_match_bandwidths() {
+        let cfg = MaeriConfig::builder(64)
+            .distribution_bandwidth(16)
+            .collection_bandwidth(2)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.distribution_chubby().root_bandwidth(), 16);
+        assert_eq!(cfg.collection_chubby().root_bandwidth(), 2);
+    }
+}

@@ -1,0 +1,130 @@
+//! Distribution-network cost model (Section 3.1).
+//!
+//! The distribution tree is a binary tree of bufferless simple switches
+//! with chubby links near the root and single-cycle traversal from the
+//! prefetch buffer to the multiplier switches. Its steady-state cost
+//! model is therefore bandwidth-counting:
+//!
+//! * the prefetch buffer injects at most `root_bandwidth` words/cycle,
+//! * a multicast (one value to many switches) costs one injection — the
+//!   simple switches replicate it for free,
+//! * each multiplier switch accepts at most one word per cycle,
+//! * leaf forwarding links move one word per cycle between adjacent
+//!   switches, which is what lets a CONV window slide without refetching
+//!   overlapping inputs.
+
+use maeri_noc::ChubbyTree;
+use maeri_sim::util::ceil_div;
+use maeri_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth-counting model of the distribution tree.
+///
+/// # Example
+///
+/// ```
+/// use maeri::dist::Distributor;
+/// use maeri::MaeriConfig;
+///
+/// let cfg = MaeriConfig::paper_64();
+/// let dist = Distributor::new(cfg.distribution_chubby());
+/// // 63 distinct weights over an 8-wide root: 8 cycles.
+/// assert_eq!(dist.delivery_cycles(63, 1).as_u64(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Distributor {
+    chubby: ChubbyTree,
+}
+
+impl Distributor {
+    /// Creates a distributor over the given chubby profile.
+    #[must_use]
+    pub fn new(chubby: ChubbyTree) -> Self {
+        Distributor { chubby }
+    }
+
+    /// Words per cycle at the prefetch buffer.
+    #[must_use]
+    pub fn bandwidth(&self) -> usize {
+        self.chubby.root_bandwidth()
+    }
+
+    /// Cycles to deliver `unique_words` distinct values when the most
+    /// heavily loaded multiplier switch receives `max_per_leaf` of them.
+    ///
+    /// Both limits apply: the root can inject only `bandwidth()` words
+    /// per cycle, and each leaf FIFO accepts one word per cycle.
+    #[must_use]
+    pub fn delivery_cycles(&self, unique_words: u64, max_per_leaf: u64) -> Cycle {
+        if unique_words == 0 {
+            return Cycle::ZERO;
+        }
+        let by_root = ceil_div(unique_words, self.bandwidth() as u64);
+        Cycle::new(by_root.max(max_per_leaf))
+    }
+
+    /// Cycles for a multicast round: `unique_words` distinct values,
+    /// each replicated to any number of destinations. Replication is
+    /// free; only unique injections count (and the per-leaf limit of the
+    /// widest destination).
+    #[must_use]
+    pub fn multicast_cycles(&self, unique_words: u64) -> Cycle {
+        self.delivery_cycles(unique_words, 1)
+    }
+
+    /// SRAM reads charged for a delivery: one read per unique word (a
+    /// multicast reads its value once).
+    #[must_use]
+    pub fn sram_reads(&self, unique_words: u64) -> u64 {
+        unique_words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MaeriConfig;
+
+    fn dist(bw: usize) -> Distributor {
+        let cfg = MaeriConfig::builder(64)
+            .distribution_bandwidth(bw)
+            .build()
+            .unwrap();
+        Distributor::new(cfg.distribution_chubby())
+    }
+
+    #[test]
+    fn root_bandwidth_limits() {
+        let d = dist(8);
+        assert_eq!(d.delivery_cycles(64, 1).as_u64(), 8);
+        assert_eq!(d.delivery_cycles(65, 1).as_u64(), 9);
+        assert_eq!(d.delivery_cycles(1, 1).as_u64(), 1);
+        assert_eq!(d.delivery_cycles(0, 0).as_u64(), 0);
+    }
+
+    #[test]
+    fn leaf_port_limits() {
+        let d = dist(64);
+        // 16 words all to one switch: 16 cycles even with a wide root.
+        assert_eq!(d.delivery_cycles(16, 16).as_u64(), 16);
+        // Spread out, the root width dominates.
+        assert_eq!(d.delivery_cycles(16, 1).as_u64(), 1);
+    }
+
+    #[test]
+    fn multicast_counts_unique_words_once() {
+        let d = dist(8);
+        // Fig. 8 stage 2.1: four weights multicast to every VN cost
+        // one injection each.
+        assert_eq!(d.multicast_cycles(4).as_u64(), 1);
+        assert_eq!(d.sram_reads(4), 4);
+    }
+
+    #[test]
+    fn narrow_tree_is_slower() {
+        let wide = dist(8).multicast_cycles(56).as_u64();
+        let narrow = dist(2).multicast_cycles(56).as_u64();
+        assert_eq!(wide, 7);
+        assert_eq!(narrow, 28);
+    }
+}

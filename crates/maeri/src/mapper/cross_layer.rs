@@ -1,0 +1,513 @@
+//! Cross-layer (fused) mapping (Section 4.6, Figure 14).
+//!
+//! Because every VN is independently configurable, MAERI can host VNs of
+//! *different layers* simultaneously: the multiplier switches are
+//! partitioned among the fused layers in proportion to their MAC demand,
+//! each partition runs that layer's VNs, and intermediate activations
+//! stream layer-to-layer through the prefetch buffer without touching
+//! DRAM (the fused-layer CNN idea).
+//!
+//! The pipeline's throughput is set by its slowest stage; the win over a
+//! fixed-cluster design comes from sizing each partition freely instead
+//! of rounding to whole clusters (Figure 14's Map A-E experiments).
+
+use maeri_dnn::ConvLayer;
+use maeri_sim::util::ceil_div;
+use maeri_sim::{Cycle, Result, SimError};
+
+use crate::dist::Distributor;
+use crate::engine::RunStats;
+use crate::MaeriConfig;
+
+/// Cycles for one pipeline stage that processes a whole CONV layer
+/// with `lanes` parallel channel-slice VNs, `pieces` fold pieces per
+/// slice, and an input-bandwidth share of `bandwidth` words/cycle.
+///
+/// This is the stage model shared by MAERI's fused mapping and the
+/// fixed-cluster baseline (`maeri-baselines`), so Figure 14 compares
+/// the two fabrics' *resource allocation*, not two different cost
+/// formulas.
+///
+/// # Panics
+///
+/// Panics if `lanes`, `pieces` or `bandwidth` is not positive.
+#[must_use]
+pub fn pipeline_stage_cycles(
+    layer: &ConvLayer,
+    lanes: usize,
+    pieces: usize,
+    channel_tile: usize,
+    bandwidth: f64,
+) -> Cycle {
+    assert!(
+        lanes > 0 && pieces > 0 && channel_tile > 0,
+        "stage shape must be positive"
+    );
+    assert!(bandwidth > 0.0, "stage bandwidth must be positive");
+    let segments = ceil_div(layer.in_channels as u64, channel_tile as u64);
+    let units = layer.out_channels as u64 * segments * layer.out_h() as u64 * pieces as u64;
+    let iterations = ceil_div(units, lanes as u64);
+    let rows_piece = ceil_div(layer.kernel_h as u64, pieces as u64);
+    let step_inputs = rows_piece
+        * (layer.stride as u64).min(layer.kernel_w as u64)
+        * channel_tile as u64;
+    let steady = (step_inputs as f64 / bandwidth).max(1.0);
+    Cycle::new((iterations as f64 * layer.out_w() as f64 * steady).ceil() as u64)
+}
+
+/// One layer's share of the fused mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPartition {
+    /// Layer name.
+    pub name: String,
+    /// Multiplier switches assigned.
+    pub switches: usize,
+    /// Simultaneous VNs within the partition.
+    pub num_vns: usize,
+    /// Compute cycles this stage needs to drain the whole fused tile
+    /// (before the shared-bandwidth bound).
+    pub cycles: Cycle,
+    /// Input words this stage pulls through the shared distribution
+    /// tree over the whole run.
+    pub input_words: u64,
+}
+
+/// Maps a chain of CONV layers as one fused pipeline.
+///
+/// # Example
+///
+/// ```
+/// use maeri::{CrossLayerMapper, MaeriConfig};
+/// use maeri_dnn::ConvLayer;
+///
+/// let l1 = ConvLayer::new("a", 3, 16, 16, 8, 3, 3, 1, 1);
+/// let l2 = ConvLayer::new("b", 8, 16, 16, 8, 3, 3, 1, 1);
+/// let run = CrossLayerMapper::new(MaeriConfig::paper_64())
+///     .run(&[l1, l2])?;
+/// assert!(run.extra.get("dram_bytes_saved") > 0);
+/// # Ok::<(), maeri_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CrossLayerMapper {
+    cfg: MaeriConfig,
+}
+
+impl CrossLayerMapper {
+    /// Creates a mapper over the given fabric.
+    #[must_use]
+    pub fn new(cfg: MaeriConfig) -> Self {
+        CrossLayerMapper { cfg }
+    }
+
+    /// The VN granule a layer uses inside a fused mapping: the switch
+    /// count of one VN, how many fold pieces one slice needs, and the
+    /// channels per VN. Large filters (e.g. AlexNet's 11x11) fold into
+    /// pieces of at most 16 switches so several layers can coexist on a
+    /// 64-switch array; tiny filters (1x1) tile several channels into
+    /// one VN so a granule is never a single multiplier.
+    #[must_use]
+    pub fn vn_granule(layer: &ConvLayer) -> (usize, usize, usize) {
+        let rs = layer.kernel_h * layer.kernel_w;
+        if rs > 16 {
+            let pieces = rs.div_ceil(16);
+            (rs.div_ceil(pieces), pieces, 1)
+        } else {
+            let ct = (4 / rs).clamp(1, layer.in_channels);
+            (rs * ct, 1, ct)
+        }
+    }
+
+    /// Partitions the multiplier switches among the fused layers in
+    /// proportion to MAC demand, guaranteeing each layer at least one
+    /// channel-slice VN (`R*S` switches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unmappable`] when the layers' minimum VNs do
+    /// not fit together, or the chain is empty / shape-inconsistent.
+    pub fn partition(&self, layers: &[ConvLayer]) -> Result<Vec<usize>> {
+        if layers.is_empty() {
+            return Err(SimError::unmappable("cannot fuse an empty layer chain"));
+        }
+        for pair in layers.windows(2) {
+            if pair[1].in_channels != pair[0].out_channels {
+                return Err(SimError::shape_mismatch(format!(
+                    "layer {} expects {} input channels but {} produces {}",
+                    pair[1].name, pair[1].in_channels, pair[0].name, pair[0].out_channels
+                )));
+            }
+        }
+        // Start from the minimum VN per layer, then hand out remaining
+        // switches one granule at a time to whichever stage currently
+        // bounds the pipeline — directly minimizing the bottleneck.
+        // Distribution bandwidth is a shared pool (one chubby root
+        // feeds every partition), so allocation only moves compute.
+        self.partition_unchained(layers)
+    }
+
+    /// Costs the fused pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning errors.
+    pub fn run(&self, layers: &[ConvLayer]) -> Result<RunStats> {
+        let shares = self.partition(layers)?;
+        let stages = self.stage_costs(layers, &shares);
+        let n = self.cfg.num_mult_switches();
+        // All stages run concurrently. Total time is bounded below by
+        // the slowest stage's compute and by the shared distribution
+        // tree moving every stage's inputs through one chubby root.
+        let compute_bound = stages
+            .iter()
+            .map(|s| s.cycles)
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        let total_words: u64 = stages.iter().map(|s| s.input_words).sum();
+        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let bandwidth_bound = Cycle::new(maeri_sim::util::ceil_div(
+            total_words,
+            dist.bandwidth() as u64,
+        ));
+        let bottleneck = compute_bound.max(bandwidth_bound);
+        // Plus a fill of one output-row's latency per extra pipeline
+        // stage (coarse-grained pipelining through the prefetch buffer).
+        let fill: Cycle = stages
+            .iter()
+            .take(stages.len().saturating_sub(1))
+            .map(|s| Cycle::new(s.cycles.as_u64() / layers[0].out_h().max(1) as u64))
+            .sum();
+        let total_macs: u64 = layers.iter().map(ConvLayer::macs).sum();
+        let mut run = RunStats::new(
+            &format!("fused[{}]", layers.len()),
+            n,
+            bottleneck + fill,
+            total_macs,
+        );
+        // Intermediate feature maps never visit DRAM: count the saving.
+        let inter_values: u64 = layers
+            .iter()
+            .take(layers.len() - 1)
+            .map(|l| l.output_count() as u64)
+            .sum();
+        run.extra.add("dram_bytes_saved", inter_values * 2); // 16-bit words
+        // SRAM traffic: first-layer inputs + all weights + last outputs
+        // + on-chip intermediate hand-offs (write + read).
+        run.sram_reads = layers[0].input_count() as u64
+            + layers.iter().map(|l| l.weight_count() as u64).sum::<u64>()
+            + inter_values;
+        run.sram_writes = layers.last().map_or(0, |l| l.output_count() as u64) + inter_values;
+        for stage in &stages {
+            run.extra
+                .add(&format!("switches_{}", stage.name), stage.switches as u64);
+        }
+        Ok(run)
+    }
+
+    /// Maps *parallel branches* (e.g. a GoogLeNet inception module)
+    /// simultaneously: every branch is an independent chain and all
+    /// branches read the same module input, which the distribution
+    /// tree multicasts once. This is the intro's motivating scenario —
+    /// 1x1, 3x3 and 5x5 filters live on the fabric at the same time,
+    /// each with its own virtual-neuron shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unmappable`] when the branches' minimum VNs
+    /// do not fit together, or a branch chain is shape-inconsistent.
+    pub fn run_parallel(&self, branches: &[Vec<ConvLayer>]) -> Result<RunStats> {
+        if branches.is_empty() || branches.iter().any(Vec::is_empty) {
+            return Err(SimError::unmappable("branches must be non-empty"));
+        }
+        for branch in branches {
+            for pair in branch.windows(2) {
+                if pair[1].in_channels != pair[0].out_channels {
+                    return Err(SimError::shape_mismatch(format!(
+                        "branch layer {} expects {} channels, got {}",
+                        pair[1].name, pair[1].in_channels, pair[0].out_channels
+                    )));
+                }
+            }
+        }
+        let flat: Vec<ConvLayer> = branches.iter().flatten().cloned().collect();
+        let shares = self.partition_unchained(&flat)?;
+        let stages = self.stage_costs(&flat, &shares);
+        let n = self.cfg.num_mult_switches();
+        let compute_bound = stages
+            .iter()
+            .map(|s| s.cycles)
+            .max()
+            .unwrap_or(Cycle::ZERO);
+        // Branch heads share the module input: the multicast tree
+        // delivers it once, so charge the head input words once instead
+        // of per branch.
+        let head_words: u64 = branches
+            .iter()
+            .map(|b| b[0].input_count() as u64)
+            .sum::<u64>();
+        let shared_head = branches[0].first().map_or(0, |l| l.input_count() as u64);
+        let total_words: u64 =
+            stages.iter().map(|s| s.input_words).sum::<u64>() - (head_words - shared_head);
+        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let bandwidth_bound = Cycle::new(maeri_sim::util::ceil_div(
+            total_words,
+            dist.bandwidth() as u64,
+        ));
+        let total_macs: u64 = flat.iter().map(ConvLayer::macs).sum();
+        let mut run = RunStats::new(
+            &format!("parallel[{}]", branches.len()),
+            n,
+            compute_bound.max(bandwidth_bound),
+            total_macs,
+        );
+        run.sram_reads = total_words;
+        run.sram_writes = flat.iter().map(|l| l.output_count() as u64).sum();
+        for stage in &stages {
+            run.extra
+                .add(&format!("switches_{}", stage.name), stage.switches as u64);
+        }
+        Ok(run)
+    }
+
+    /// Partition without chain validation (used by parallel branches).
+    fn partition_unchained(&self, layers: &[ConvLayer]) -> Result<Vec<usize>> {
+        if layers.is_empty() {
+            return Err(SimError::unmappable("cannot partition an empty set"));
+        }
+        let n = self.cfg.num_mult_switches();
+        let granules: Vec<usize> = layers.iter().map(|l| Self::vn_granule(l).0).collect();
+        let min_needed: usize = granules.iter().sum();
+        if min_needed > n {
+            return Err(SimError::unmappable(format!(
+                "parallel set needs at least {min_needed} switches, have {n}"
+            )));
+        }
+        let stage_time = |layer: &ConvLayer, share: usize| {
+            let (granule, pieces, ct) = Self::vn_granule(layer);
+            let lanes = (share / granule).max(1);
+            pipeline_stage_cycles(layer, lanes, pieces, ct, f64::INFINITY).as_u64()
+        };
+        let mut shares: Vec<usize> = granules.clone();
+        let mut left = n - min_needed;
+        loop {
+            let mut order: Vec<usize> = (0..layers.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(stage_time(&layers[i], shares[i])));
+            let mut granted = false;
+            for &i in &order {
+                if granules[i] <= left {
+                    shares[i] += granules[i];
+                    left -= granules[i];
+                    granted = true;
+                    break;
+                }
+            }
+            if !granted {
+                break;
+            }
+        }
+        Ok(shares)
+    }
+
+    /// Per-stage compute cost and input traffic under the assigned
+    /// switch shares.
+    #[must_use]
+    pub fn stage_costs(&self, layers: &[ConvLayer], shares: &[usize]) -> Vec<LayerPartition> {
+        layers
+            .iter()
+            .zip(shares)
+            .map(|(layer, &share)| {
+                let (granule, pieces, ct) = Self::vn_granule(layer);
+                let num_vns = (share / granule).max(1);
+                let cycles = pipeline_stage_cycles(layer, num_vns, pieces, ct, f64::INFINITY);
+                // Traffic through the shared distribution tree: every
+                // iteration-step's fresh window slice, plus weights.
+                let units = layer.out_channels as u64
+                    * layer.in_channels as u64
+                    * layer.out_h() as u64
+                    * pieces as u64;
+                let rows_piece = maeri_sim::util::ceil_div(layer.kernel_h as u64, pieces as u64);
+                let step_inputs =
+                    rows_piece * (layer.stride as u64).min(layer.kernel_w as u64);
+                // Lanes co-scheduled on the same (channel, row) share
+                // each fetched slice via the multicast tree.
+                let input_words = units * layer.out_w() as u64 * step_inputs
+                    / num_vns.max(1) as u64
+                    + layer.weight_count() as u64;
+                LayerPartition {
+                    name: layer.name.clone(),
+                    switches: share,
+                    num_vns,
+                    cycles,
+                    input_words,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> Vec<ConvLayer> {
+        vec![
+            ConvLayer::new("c3", 256, 13, 13, 384, 3, 3, 1, 1),
+            ConvLayer::new("c4", 384, 13, 13, 384, 3, 3, 1, 1),
+            ConvLayer::new("c5", 384, 13, 13, 256, 3, 3, 1, 1),
+        ]
+    }
+
+    fn mapper() -> CrossLayerMapper {
+        CrossLayerMapper::new(MaeriConfig::paper_64())
+    }
+
+    #[test]
+    fn partition_uses_every_switch_it_can() {
+        let shares = mapper().partition(&chain()).unwrap();
+        let used: usize = shares.iter().sum();
+        // With 3x3 granules (9 switches), 63 of 64 are usable.
+        assert_eq!(used, 63);
+        assert!(shares.iter().all(|&s| s >= 9));
+    }
+
+    #[test]
+    fn partition_follows_mac_demand() {
+        let layers = vec![
+            ConvLayer::new("big", 64, 28, 28, 128, 3, 3, 1, 1),
+            ConvLayer::new("small", 128, 7, 7, 16, 3, 3, 1, 1),
+        ];
+        let shares = mapper().partition(&layers).unwrap();
+        assert!(
+            shares[0] > shares[1],
+            "bigger layer should get more switches: {shares:?}"
+        );
+    }
+
+    #[test]
+    fn run_counts_dram_savings() {
+        let run = mapper().run(&chain()).unwrap();
+        let inter = (384 * 13 * 13 + 384 * 13 * 13) as u64;
+        assert_eq!(run.extra.get("dram_bytes_saved"), inter * 2);
+        assert!(run.cycles.as_u64() > 0);
+    }
+
+    #[test]
+    fn mismatched_chain_rejected() {
+        let bad = vec![
+            ConvLayer::new("a", 3, 8, 8, 8, 3, 3, 1, 1),
+            ConvLayer::new("b", 16, 8, 8, 8, 3, 3, 1, 1),
+        ];
+        let err = mapper().run(&bad).unwrap_err();
+        assert!(err.to_string().contains("input channels"));
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        assert!(mapper().run(&[]).is_err());
+    }
+
+    #[test]
+    fn oversized_chain_rejected() {
+        // Eight 5x5 layers need 200 minimum switches on a 64-wide array.
+        let mut layers = Vec::new();
+        let mut in_c = 3;
+        for i in 0..8 {
+            layers.push(ConvLayer::new(&format!("l{i}"), in_c, 32, 32, 8, 5, 5, 1, 2));
+            in_c = 8;
+        }
+        assert!(mapper().run(&layers).is_err());
+    }
+
+    fn inception_3a() -> Vec<Vec<ConvLayer>> {
+        // GoogLeNet inception 3a: four branches over a 192x28x28 input.
+        vec![
+            vec![ConvLayer::new("3a_1x1", 192, 28, 28, 64, 1, 1, 1, 0)],
+            vec![
+                ConvLayer::new("3a_3x3r", 192, 28, 28, 96, 1, 1, 1, 0),
+                ConvLayer::new("3a_3x3", 96, 28, 28, 128, 3, 3, 1, 1),
+            ],
+            vec![
+                ConvLayer::new("3a_5x5r", 192, 28, 28, 16, 1, 1, 1, 0),
+                ConvLayer::new("3a_5x5", 16, 28, 28, 32, 5, 5, 1, 2),
+            ],
+            vec![ConvLayer::new("3a_pool_proj", 192, 28, 28, 32, 1, 1, 1, 0)],
+        ]
+    }
+
+    #[test]
+    fn parallel_branches_map_mixed_filter_sizes() {
+        // The intro's motivating case: 1x1, 3x3 and 5x5 filters live on
+        // the fabric simultaneously.
+        let run = mapper().run_parallel(&inception_3a()).unwrap();
+        let expected: u64 = inception_3a()
+            .iter()
+            .flatten()
+            .map(ConvLayer::macs)
+            .sum();
+        assert_eq!(run.macs, expected);
+        assert!(run.cycles.as_u64() > 0);
+        assert!(run.utilization() > 0.1 && run.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn parallel_is_competitive_with_sequential() {
+        // On well-sized inception branches, layer-by-layer execution
+        // already runs near the 64-MAC ideal, so concurrency cannot
+        // beat it — but the parallel mapping must stay within a modest
+        // fragmentation factor of it while keeping every branch
+        // resident (the flexibility the intro motivates).
+        use crate::mapper::{ConvMapper, VnPolicy};
+        let branches = inception_3a();
+        let parallel = mapper().run_parallel(&branches).unwrap();
+        let sequential: u64 = branches
+            .iter()
+            .flatten()
+            .map(|l| {
+                ConvMapper::new(MaeriConfig::paper_64())
+                    .run(l, VnPolicy::Auto)
+                    .unwrap()
+                    .cycles
+                    .as_u64()
+            })
+            .sum();
+        let total_macs: u64 = branches.iter().flatten().map(ConvLayer::macs).sum();
+        let ideal = total_macs / 64;
+        assert!(parallel.cycles.as_u64() >= ideal, "faster than ideal");
+        assert!(
+            parallel.cycles.as_u64() < 2 * sequential,
+            "parallel {} vs sequential {sequential}",
+            parallel.cycles.as_u64()
+        );
+        // Every layer got a partition.
+        let shares: Vec<u64> = branches
+            .iter()
+            .flatten()
+            .map(|l| parallel.extra.get(&format!("switches_{}", l.name)))
+            .collect();
+        assert!(shares.iter().all(|&s| s >= 1), "{shares:?}");
+    }
+
+    #[test]
+    fn parallel_rejects_broken_branch() {
+        let bad = vec![vec![
+            ConvLayer::new("a", 3, 8, 8, 8, 3, 3, 1, 1),
+            ConvLayer::new("b", 16, 8, 8, 8, 3, 3, 1, 1),
+        ]];
+        assert!(mapper().run_parallel(&bad).is_err());
+        assert!(mapper().run_parallel(&[]).is_err());
+        assert!(mapper().run_parallel(&[vec![]]).is_err());
+    }
+
+    #[test]
+    fn stage_costs_reflect_shares() {
+        let layers = chain();
+        let m = mapper();
+        let shares = m.partition(&layers).unwrap();
+        let stages = m.stage_costs(&layers, &shares);
+        assert_eq!(stages.len(), 3);
+        for (stage, share) in stages.iter().zip(&shares) {
+            assert_eq!(stage.switches, *share);
+            assert!(stage.num_vns >= 1);
+            assert!(stage.cycles.as_u64() > 0);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Dataflow mappers: one per layer type of Section 4.
+//!
+//! Each mapper turns a layer descriptor plus a [`crate::MaeriConfig`]
+//! into virtual-neuron assignments over the multiplier switches, builds
+//! the corresponding [`crate::art::ArtConfig`], and produces a
+//! [`crate::engine::RunStats`] from the documented cycle model:
+//!
+//! * distribution cost from [`crate::dist::Distributor`] bandwidth
+//!   counting (multicast-aware),
+//! * one multiply per multiplier switch per output step,
+//! * collection throughput bounded by the ART's chubby links
+//!   ([`crate::art::ArtConfig::throughput_slowdown`]),
+//! * folding (Section 4.8) via adder-switch temporal registers.
+
+pub mod conv;
+pub mod cross_layer;
+pub mod fc;
+pub mod lstm;
+pub mod pool;
+pub mod sparse;
+
+pub use conv::{ConvMapper, ConvPlan, FoldMode, VnPolicy};
+pub use cross_layer::CrossLayerMapper;
+pub use fc::FcMapper;
+pub use lstm::LstmMapper;
+pub use pool::PoolMapper;
+pub use sparse::SparseConvMapper;

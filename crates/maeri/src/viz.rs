@@ -1,0 +1,206 @@
+//! Visualization of ART configurations.
+//!
+//! A configured ART is a small, irregular structure (modes per adder
+//! switch, activated forwarding links, VN spans) that is much easier to
+//! debug visually. [`art_to_dot`] renders Graphviz DOT;
+//! [`art_to_ascii`] prints a terminal summary, used by the
+//! `examples/art_explorer.rs` walkthrough.
+
+use std::fmt::Write as _;
+
+use crate::art::ArtConfig;
+use crate::switch::AdderMode;
+
+fn mode_tag(mode: AdderMode) -> &'static str {
+    match mode {
+        AdderMode::Idle => "idle",
+        AdderMode::AddTwo => "2:1 ADD",
+        AdderMode::AddThree => "3:1 ADD",
+        AdderMode::AddOneForwardOne => "ADD+FWD",
+        AdderMode::ForwardTwo => "2:2 FWD",
+        AdderMode::ForwardOne => "1:1 FWD",
+        AdderMode::CompareTwo => "2:1 CMP",
+        AdderMode::CompareThree => "3:1 CMP",
+    }
+}
+
+fn mode_color(mode: AdderMode) -> &'static str {
+    match mode {
+        AdderMode::Idle => "gray85",
+        AdderMode::AddTwo | AdderMode::CompareTwo => "lightblue",
+        AdderMode::AddThree | AdderMode::CompareThree => "gold",
+        AdderMode::AddOneForwardOne => "palegreen",
+        AdderMode::ForwardOne | AdderMode::ForwardTwo => "white",
+    }
+}
+
+/// Renders a configured ART as a Graphviz `digraph`: adder switches as
+/// boxes colored by mode, multiplier switches as circles labelled with
+/// their VN, up-links as solid edges, and activated forwarding links as
+/// dashed red edges in their configured direction.
+///
+/// # Example
+///
+/// ```
+/// use maeri::art::{ArtConfig, VnRange};
+/// use maeri::viz::art_to_dot;
+/// use maeri_noc::{BinaryTree, ChubbyTree};
+///
+/// let chubby = ChubbyTree::new(BinaryTree::with_leaves(8)?, 4)?;
+/// let config = ArtConfig::build(chubby, &[VnRange::new(0, 5)])?;
+/// let dot = art_to_dot(&config);
+/// assert!(dot.starts_with("digraph art"));
+/// # Ok::<(), maeri_sim::SimError>(())
+/// ```
+#[must_use]
+pub fn art_to_dot(config: &ArtConfig) -> String {
+    let tree = config.tree();
+    let mut dot = String::from("digraph art {\n  rankdir=BT;\n  node [fontsize=10];\n");
+    // Adder switches.
+    for node in 0..tree.num_internal() {
+        let mode = config.adder_mode(node);
+        let _ = writeln!(
+            dot,
+            "  n{node} [shape=box style=filled fillcolor={} label=\"AS{node}\\n{}\"];",
+            mode_color(mode),
+            mode_tag(mode)
+        );
+    }
+    // Multiplier switches (leaves) with VN membership.
+    for leaf in 0..tree.num_leaves() {
+        let vn = config
+            .vns()
+            .iter()
+            .position(|range| range.contains(leaf));
+        let (label, color) = match vn {
+            Some(id) => (format!("MS{leaf}\\nVN{id}"), "lightyellow"),
+            None => (format!("MS{leaf}\\nidle"), "gray90"),
+        };
+        let node = tree.leaf_node(leaf);
+        let _ = writeln!(
+            dot,
+            "  n{node} [shape=circle style=filled fillcolor={color} label=\"{label}\"];"
+        );
+    }
+    // Up-links.
+    for node in 1..tree.num_nodes() {
+        let parent = tree.parent(node).expect("non-root");
+        let _ = writeln!(dot, "  n{node} -> n{parent};");
+    }
+    // Activated forwarding links.
+    for fl in config.forwarding_links() {
+        let _ = writeln!(
+            dot,
+            "  n{} -> n{} [style=dashed color=red constraint=false label=\"VN{}\"];",
+            fl.from, fl.to, fl.vn
+        );
+    }
+    dot.push_str("}\n");
+    dot
+}
+
+/// Renders a terminal summary: one line per tree level listing each
+/// adder switch's configured mode, then the VN table and activated
+/// forwarding links.
+#[must_use]
+pub fn art_to_ascii(config: &ArtConfig) -> String {
+    let tree = config.tree();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ART over {} multiplier switches ({} VNs, {} active adders)",
+        tree.num_leaves(),
+        config.vns().len(),
+        config.active_adders()
+    );
+    let internal_levels = tree.levels() - 1;
+    for level in 0..internal_levels {
+        let _ = write!(out, "level {level}: ");
+        for pos in 0..tree.nodes_at_level(level) {
+            let node = tree.node_at(level, pos);
+            let _ = write!(out, "[{}]", mode_tag(config.adder_mode(node)));
+        }
+        out.push('\n');
+    }
+    for (id, range) in config.vns().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "VN{id}: leaves {}..={} ({} switches), output at node {}",
+            range.start,
+            range.end() - 1,
+            range.len,
+            config.output_nodes()[id]
+        );
+    }
+    for fl in config.forwarding_links() {
+        let _ = writeln!(
+            out,
+            "FL: node {} -> node {} (level {}, VN{})",
+            fl.from, fl.to, fl.level, fl.vn
+        );
+    }
+    let _ = writeln!(
+        out,
+        "throughput slowdown: {:.2}x",
+        config.throughput_slowdown()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::art::{pack_vns, VnRange};
+    use maeri_noc::{BinaryTree, ChubbyTree};
+
+    fn config(leaves: usize, sizes: &[usize]) -> ArtConfig {
+        let chubby =
+            ChubbyTree::new(BinaryTree::with_leaves(leaves).unwrap(), 8.min(leaves)).unwrap();
+        let (ranges, _) = pack_vns(leaves, sizes);
+        ArtConfig::build(chubby, &ranges).unwrap()
+    }
+
+    #[test]
+    fn dot_is_structurally_complete() {
+        let cfg = config(16, &[5, 5, 5]);
+        let dot = art_to_dot(&cfg);
+        assert!(dot.starts_with("digraph art {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 31 node declarations and 30 up-link edges.
+        assert_eq!(dot.matches("[shape=").count(), 31);
+        assert_eq!(dot.matches(" -> ").count() - cfg.forwarding_links().len(), 30);
+        // Activated FLs appear dashed.
+        assert!(dot.contains("style=dashed"));
+        // VN labels present.
+        assert!(dot.contains("VN0") && dot.contains("VN2"));
+    }
+
+    #[test]
+    fn dot_marks_idle_leaves() {
+        let cfg = config(16, &[5, 5, 5]);
+        let dot = art_to_dot(&cfg);
+        // Leaf 15 is uncovered.
+        assert!(dot.contains("MS15\\nidle"));
+    }
+
+    #[test]
+    fn ascii_lists_levels_and_vns() {
+        let cfg = config(16, &[5, 5, 5]);
+        let text = art_to_ascii(&cfg);
+        assert!(text.contains("16 multiplier switches (3 VNs"));
+        assert!(text.contains("level 0:"));
+        assert!(text.contains("level 3:"));
+        assert!(!text.contains("level 4:"), "leaf level is not an AS level");
+        assert!(text.contains("VN1: leaves 5..=9"));
+        assert!(text.contains("throughput slowdown"));
+    }
+
+    #[test]
+    fn whole_tree_vn_has_no_fls_in_output() {
+        let chubby = ChubbyTree::new(BinaryTree::with_leaves(8).unwrap(), 4).unwrap();
+        let cfg = ArtConfig::build(chubby, &[VnRange::new(0, 8)]).unwrap();
+        let text = art_to_ascii(&cfg);
+        assert!(!text.contains("FL:"));
+        assert!(text.contains("2:1 ADD"));
+    }
+}

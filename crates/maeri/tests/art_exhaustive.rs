@@ -1,0 +1,107 @@
+//! Exhaustive verification of the ART construction algorithm: every
+//! possible partition of the leaves into contiguous virtual neurons
+//! (every composition of N) must build, reduce to exact sums, and
+//! claim each forwarding link at most once.
+//!
+//! For N leaves there are 2^(N-1) compositions; N = 8 (128 cases) and
+//! N = 16 (32,768 cases) are both fully enumerated. This subsumes any
+//! sampled property test for small trees.
+
+use maeri::art::{ArtConfig, VnRange};
+use maeri_noc::{BinaryTree, ChubbyTree};
+
+/// Iterates every composition of `n` as VN ranges via the bitmask of
+/// "cut points" between adjacent leaves.
+fn compositions(n: usize) -> impl Iterator<Item = Vec<VnRange>> {
+    (0u32..(1 << (n - 1))).map(move |cuts| {
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        for boundary in 0..n - 1 {
+            if cuts & (1 << boundary) != 0 {
+                ranges.push(VnRange::new(start, boundary + 1 - start));
+                start = boundary + 1;
+            }
+        }
+        ranges.push(VnRange::new(start, n - start));
+        ranges
+    })
+}
+
+fn verify_all(n: usize, bw: usize) {
+    let tree = BinaryTree::with_leaves(n).unwrap();
+    let chubby = ChubbyTree::new(tree, bw).unwrap();
+    let values: Vec<f32> = (0..n).map(|i| (i as f32 + 1.0) * 0.5).collect();
+    let mut cases = 0u64;
+    for ranges in compositions(n) {
+        let config = ArtConfig::build(chubby, &ranges)
+            .unwrap_or_else(|e| panic!("partition {ranges:?} failed: {e}"));
+        // Exact sums for every VN (Property 1 over every offset/size).
+        let sums = config.reduce(&values);
+        for (range, sum) in ranges.iter().zip(&sums) {
+            let expected: f32 = values[range.start..range.end()].iter().sum();
+            assert!(
+                (sum - expected).abs() < 1e-4,
+                "partition {ranges:?}, vn {range:?}: {sum} != {expected}"
+            );
+        }
+        // No forwarding link claimed twice (Property 2).
+        let mut seen = std::collections::BTreeSet::new();
+        for fl in config.forwarding_links() {
+            let key = (fl.from.min(fl.to), fl.from.max(fl.to));
+            assert!(seen.insert(key), "partition {ranges:?}: link {key:?} reused");
+        }
+        // Max mode also works for every partition.
+        let maxes = config.reduce_max(&values);
+        for (range, max) in ranges.iter().zip(&maxes) {
+            let expected = values[range.start..range.end()]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
+            assert_eq!(*max, expected, "partition {ranges:?} max");
+        }
+        cases += 1;
+    }
+    assert_eq!(cases, 1 << (n - 1));
+}
+
+#[test]
+fn all_partitions_of_8_leaves() {
+    verify_all(8, 4);
+}
+
+#[test]
+fn all_partitions_of_8_leaves_thin_root() {
+    // A 1x root changes only throughput, never correctness.
+    verify_all(8, 1);
+}
+
+#[test]
+fn all_partitions_of_16_leaves() {
+    verify_all(16, 8);
+}
+
+#[test]
+fn uniform_partitions_of_64_leaves() {
+    // 64 leaves cannot be enumerated exhaustively; check every uniform
+    // VN size (with remainder) instead.
+    let tree = BinaryTree::with_leaves(64).unwrap();
+    let chubby = ChubbyTree::new(tree, 8).unwrap();
+    let values: Vec<f32> = (0..64).map(|i| ((i * 37) % 19) as f32 - 9.0).collect();
+    for vn in 1..=64usize {
+        let mut ranges = Vec::new();
+        let mut start = 0;
+        while start + vn <= 64 {
+            ranges.push(VnRange::new(start, vn));
+            start += vn;
+        }
+        if start < 64 {
+            ranges.push(VnRange::new(start, 64 - start));
+        }
+        let config = ArtConfig::build(chubby, &ranges).unwrap();
+        let sums = config.reduce(&values);
+        for (range, sum) in ranges.iter().zip(&sums) {
+            let expected: f32 = values[range.start..range.end()].iter().sum();
+            assert!((sum - expected).abs() < 1e-3, "vn={vn}");
+        }
+    }
+}

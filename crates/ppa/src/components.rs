@@ -1,0 +1,197 @@
+//! 28 nm component library (16-bit datapath, 200 MHz).
+//!
+//! Area in µm², power in mW. Constants are first-order 28 nm estimates
+//! calibrated so the assembled design points reproduce the aggregates
+//! of Table 3 (see crate docs); unit tests in
+//! [`crate::design_point`] pin the calibration.
+
+/// Area and power of one instance of a component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cost {
+    /// Silicon area in µm².
+    pub area_um2: f64,
+    /// Power at 200 MHz in mW.
+    pub power_mw: f64,
+}
+
+impl Cost {
+    /// Scales the cost by a count.
+    #[must_use]
+    pub fn times(self, count: f64) -> Cost {
+        Cost {
+            area_um2: self.area_um2 * count,
+            power_mw: self.power_mw * count,
+        }
+    }
+
+    /// Sums two costs.
+    #[must_use]
+    pub fn plus(self, other: Cost) -> Cost {
+        Cost {
+            area_um2: self.area_um2 + other.area_um2,
+            power_mw: self.power_mw + other.power_mw,
+        }
+    }
+
+    /// The zero cost.
+    #[must_use]
+    pub fn zero() -> Cost {
+        Cost {
+            area_um2: 0.0,
+            power_mw: 0.0,
+        }
+    }
+}
+
+/// Prefetch-buffer SRAM, per kilobyte (banked, with peripherals).
+#[must_use]
+pub fn sram_per_kb() -> Cost {
+    Cost {
+        area_um2: 25_820.0,
+        power_mw: 1.40,
+    }
+}
+
+/// 16-bit multiplier.
+#[must_use]
+pub fn multiplier16() -> Cost {
+    Cost {
+        area_um2: 1_800.0,
+        power_mw: 0.45,
+    }
+}
+
+/// 16-bit adder (or comparator).
+#[must_use]
+pub fn adder16() -> Cost {
+    Cost {
+        area_um2: 640.0,
+        power_mw: 0.11,
+    }
+}
+
+/// Simple FIFO storage, per byte — MAERI's multiplier-switch local
+/// buffer. Cheap: no random addressing.
+#[must_use]
+pub fn fifo_per_byte() -> Cost {
+    Cost {
+        area_um2: 7.8,
+        power_mw: 0.000_68,
+    }
+}
+
+/// Fully-addressable register file, per byte — an Eyeriss PE's local
+/// scratchpad. Roughly 3x a FIFO byte: decoders, muxes, multiported
+/// cells.
+#[must_use]
+pub fn regfile_per_byte() -> Cost {
+    Cost {
+        area_um2: 24.2,
+        power_mw: 0.001_15,
+    }
+}
+
+/// MAERI multiplier-switch control (config register, select logic).
+#[must_use]
+pub fn ms_control() -> Cost {
+    Cost {
+        area_um2: 520.0,
+        power_mw: 0.085,
+    }
+}
+
+/// MAERI adder-switch routing portion (modes, forwarding-link ports).
+#[must_use]
+pub fn as_routing() -> Cost {
+    Cost {
+        area_um2: 500.0,
+        power_mw: 0.075,
+    }
+}
+
+/// Distribution-tree simple switch (bufferless demux).
+#[must_use]
+pub fn simple_switch() -> Cost {
+    Cost {
+        area_um2: 150.0,
+        power_mw: 0.018,
+    }
+}
+
+/// Tree wiring (both networks), amortized per multiplier switch. The
+/// power term is comparatively high because MAERI's trees toggle every
+/// cycle at near-100 % utilization (Section 5: "synthesis tools report
+/// higher power in MAERI").
+#[must_use]
+pub fn tree_wiring_per_ms() -> Cost {
+    Cost {
+        area_um2: 2_916.0,
+        power_mw: 0.82,
+    }
+}
+
+/// Systolic PE extras beyond the MAC: pipeline registers and minimal
+/// control (the simplest PE of the three designs).
+#[must_use]
+pub fn systolic_pe_extras() -> Cost {
+    Cost {
+        area_um2: 860.0,
+        power_mw: 0.12,
+    }
+}
+
+/// Eyeriss PE extras beyond MAC + register file: PE control FSM,
+/// network interface to the row/column buses.
+#[must_use]
+pub fn eyeriss_pe_extras() -> Cost {
+    Cost {
+        area_um2: 4_285.0,
+        power_mw: 0.37,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_algebra() {
+        let a = Cost {
+            area_um2: 2.0,
+            power_mw: 1.0,
+        };
+        let b = a.times(3.0).plus(Cost::zero());
+        assert_eq!(b.area_um2, 6.0);
+        assert_eq!(b.power_mw, 3.0);
+    }
+
+    #[test]
+    fn regfile_costs_more_than_fifo() {
+        // The paper's stated reason MAERI is denser than Eyeriss.
+        assert!(regfile_per_byte().area_um2 > 2.5 * fifo_per_byte().area_um2);
+    }
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        assert!(multiplier16().area_um2 > 2.0 * adder16().area_um2);
+    }
+
+    #[test]
+    fn all_components_positive() {
+        for c in [
+            sram_per_kb(),
+            multiplier16(),
+            adder16(),
+            fifo_per_byte(),
+            regfile_per_byte(),
+            ms_control(),
+            as_routing(),
+            simple_switch(),
+            tree_wiring_per_ms(),
+            systolic_pe_extras(),
+            eyeriss_pe_extras(),
+        ] {
+            assert!(c.area_um2 > 0.0 && c.power_mw > 0.0);
+        }
+    }
+}

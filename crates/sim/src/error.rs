@@ -1,0 +1,87 @@
+//! Error type shared by the simulation crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while configuring or running a simulation.
+///
+/// # Example
+///
+/// ```
+/// use maeri_sim::SimError;
+///
+/// let err = SimError::invalid_config("number of leaves must be a power of two");
+/// assert!(err.to_string().contains("power of two"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration value is outside its legal range.
+    InvalidConfig(String),
+    /// A workload cannot be mapped onto the configured hardware.
+    Unmappable(String),
+    /// Two quantities that must agree (e.g. tensor shapes) do not.
+    ShapeMismatch(String),
+}
+
+impl SimError {
+    /// Creates an [`SimError::InvalidConfig`] from any displayable message.
+    pub fn invalid_config(msg: impl fmt::Display) -> Self {
+        SimError::InvalidConfig(msg.to_string())
+    }
+
+    /// Creates an [`SimError::Unmappable`] from any displayable message.
+    pub fn unmappable(msg: impl fmt::Display) -> Self {
+        SimError::Unmappable(msg.to_string())
+    }
+
+    /// Creates an [`SimError::ShapeMismatch`] from any displayable message.
+    pub fn shape_mismatch(msg: impl fmt::Display) -> Self {
+        SimError::ShapeMismatch(msg.to_string())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::Unmappable(msg) => write!(f, "workload cannot be mapped: {msg}"),
+            SimError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::invalid_config("x").to_string(),
+            "invalid configuration: x"
+        );
+        assert_eq!(
+            SimError::unmappable("y").to_string(),
+            "workload cannot be mapped: y"
+        );
+        assert_eq!(
+            SimError::shape_mismatch("z").to_string(),
+            "shape mismatch: z"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let err: Box<dyn Error> = Box::new(SimError::invalid_config("boxed"));
+        assert!(err.to_string().contains("boxed"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The figure/table binaries in `maeri-bench` print their results as
+//! aligned text tables so a reader can compare them side by side with the
+//! paper. [`Table`] keeps formatting concerns out of the simulators.
+//!
+//! # Example
+//!
+//! ```
+//! use maeri_sim::table::Table;
+//!
+//! let mut t = Table::new(vec!["design", "cycles"]);
+//! t.row(vec!["systolic".into(), "156".into()]);
+//! t.row(vec!["maeri".into(), "143".into()]);
+//! let text = t.render();
+//! assert!(text.contains("systolic"));
+//! assert!(text.contains("143"));
+//! ```
+
+use std::fmt;
+
+/// An aligned, pipe-separated text table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} does not match {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if no data rows have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quoting cells that
+    /// contain commas, quotes or newlines), for machine-readable
+    /// report output.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use maeri_sim::table::Table;
+    ///
+    /// let mut t = Table::new(vec!["a", "b"]);
+    /// t.row(vec!["1".into(), "x,y".into()]);
+    /// assert_eq!(t.to_csv(), "a,b\n1,\"x,y\"\n");
+    /// ```
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn escape(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_owned()
+            }
+        }
+        let mut out = String::new();
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table to a `String` with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (cell, width) in row.iter().zip(widths.iter_mut()) {
+                *width = (*width).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, width)) in cells.iter().zip(widths.iter()).enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                out.push_str(cell);
+                out.extend(std::iter::repeat_n(' ', width - cell.len()));
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 3 * (widths.len() - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a float with the given number of decimal places, trimming to a
+/// compact fixed-width style used across the report binaries.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(maeri_sim::table::fmt_f64(0.95432, 2), "0.95");
+/// ```
+#[must_use]
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a ratio as a percentage string, e.g. `0.738 -> "73.8%"`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(maeri_sim::table::fmt_pct(0.738), "73.8%");
+/// ```
+#[must_use]
+pub fn fmt_pct(ratio: f64) -> String {
+    format!("{:.1}%", ratio * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Column 2 starts at the same offset in header and data rows.
+        let header_offset = lines[0].find("long_header").unwrap();
+        let data_offset = lines[2].find('1').unwrap();
+        assert_eq!(header_offset, data_offset);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["only"]);
+        t.row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn empty_headers_panic() {
+        let _ = Table::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut t = Table::new(vec!["c"]);
+        assert!(t.is_empty());
+        t.row(vec!["v".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_helpers() {
+        assert_eq!(fmt_f64(1.23456, 3), "1.235");
+        assert_eq!(fmt_pct(1.0), "100.0%");
+        assert_eq!(fmt_pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["plain".into(), "1".into()]);
+        t.row(vec!["with,comma".into(), "with\"quote".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,value");
+        assert_eq!(lines[1], "plain,1");
+        assert_eq!(lines[2], "\"with,comma\",\"with\"\"quote\"");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(vec!["h"]);
+        t.row(vec!["v".into()]);
+        assert_eq!(t.to_string(), t.render());
+    }
+}

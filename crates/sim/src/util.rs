@@ -1,0 +1,157 @@
+//! Small numeric helpers shared across the workspace.
+
+/// Ceiling division for `u64`, used pervasively for bandwidth math
+/// ("how many cycles to move `items` words over a `width`-word link").
+///
+/// Returns 0 when `items` is 0.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(maeri_sim::util::ceil_div(27, 8), 4);
+/// assert_eq!(maeri_sim::util::ceil_div(0, 8), 0);
+/// ```
+#[must_use]
+pub fn ceil_div(items: u64, width: u64) -> u64 {
+    assert!(width > 0, "division width must be positive");
+    items.div_ceil(width)
+}
+
+/// `true` if `n` is a power of two (and nonzero).
+///
+/// # Example
+///
+/// ```
+/// assert!(maeri_sim::util::is_pow2(64));
+/// assert!(!maeri_sim::util::is_pow2(27));
+/// assert!(!maeri_sim::util::is_pow2(0));
+/// ```
+#[must_use]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// The smallest power of two greater than or equal to `n`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(maeri_sim::util::next_pow2(5), 8);
+/// assert_eq!(maeri_sim::util::next_pow2(8), 8);
+/// ```
+#[must_use]
+pub fn next_pow2(n: usize) -> usize {
+    assert!(n > 0, "next_pow2 of zero is undefined");
+    n.next_power_of_two()
+}
+
+/// Integer base-2 logarithm of a power of two.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(maeri_sim::util::log2(64), 6);
+/// ```
+#[must_use]
+pub fn log2(n: usize) -> u32 {
+    assert!(is_pow2(n), "log2 requires a power of two, got {n}");
+    n.trailing_zeros()
+}
+
+/// Geometric mean of a slice of positive values; `None` when empty or
+/// any value is non-positive. Used for averaging speedups.
+///
+/// # Example
+///
+/// ```
+/// let gm = maeri_sim::util::geomean(&[1.0, 4.0]).unwrap();
+/// assert!((gm - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean; `None` when empty.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(maeri_sim::util::mean(&[1.0, 3.0]), Some(2.0));
+/// ```
+#[must_use]
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_div_basic() {
+        assert_eq!(ceil_div(63, 8), 8);
+        assert_eq!(ceil_div(64, 8), 8);
+        assert_eq!(ceil_div(65, 8), 9);
+        assert_eq!(ceil_div(1, 1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn ceil_div_zero_width_panics() {
+        let _ = ceil_div(1, 0);
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert!(is_pow2(1));
+        assert!(is_pow2(1024));
+        assert!(!is_pow2(3));
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(63), 64);
+        assert_eq!(log2(1), 0);
+        assert_eq!(log2(256), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn log2_non_pow2_panics() {
+        let _ = log2(6);
+    }
+
+    #[test]
+    fn geomean_properties() {
+        assert_eq!(geomean(&[]), None);
+        assert_eq!(geomean(&[1.0, -1.0]), None);
+        assert_eq!(geomean(&[2.0]), Some(2.0));
+        let gm = geomean(&[2.0, 8.0]).unwrap();
+        assert!((gm - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_properties() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[5.0]), Some(5.0));
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+}

@@ -1,0 +1,30 @@
+//! ART explorer: reproduce the paper's Figure 6 scenario (three
+//! 5-multiplier neurons on a 16-leaf tree), print the configured adder
+//! switch modes, and emit Graphviz DOT for the full picture.
+//!
+//! Run with: `cargo run --example art_explorer`
+//! Render with: `cargo run --example art_explorer | tail -n +20 | dot -Tpng > art.png`
+
+use maeri_repro::fabric::art::{pack_vns, ArtConfig};
+use maeri_repro::fabric::viz::{art_to_ascii, art_to_dot};
+use maeri_repro::noc::{BinaryTree, ChubbyTree};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Figure 6: three neurons of five multipliers each over 16 leaves.
+    let tree = BinaryTree::with_leaves(16)?;
+    let chubby = ChubbyTree::new(tree, 8)?;
+    let (ranges, _) = pack_vns(16, &[5, 5, 5]);
+    let config = ArtConfig::build(chubby, &ranges)?;
+
+    println!("{}", art_to_ascii(&config));
+
+    // Prove it computes: reduce the multiplier outputs 1..=16.
+    let values: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+    let sums = config.reduce(&values);
+    println!("reduce(1..=16) per VN: {sums:?} (expected [15, 40, 65])");
+    assert_eq!(sums, vec![15.0, 40.0, 65.0]);
+
+    println!("\n--- graphviz DOT below ---\n");
+    println!("{}", art_to_dot(&config));
+    Ok(())
+}

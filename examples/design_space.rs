@@ -1,0 +1,78 @@
+//! Design-space exploration: sweep MAERI's array size and chubby
+//! bandwidths over a whole network (VGG-16's convolutions) and report
+//! the latency/area Pareto points, using the cycle model and the 28 nm
+//! PPA model together.
+//!
+//! Run with: `cargo run --release --example design_space`
+
+use maeri_repro::dnn::zoo;
+use maeri_repro::fabric::{ConvMapper, MaeriConfig, VnPolicy};
+use maeri_repro::ppa::{AcceleratorKind, DesignPoint};
+use maeri_repro::sim::table::{fmt_f64, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let vgg = zoo::vgg16();
+    let convs = vgg.conv_layers();
+    println!(
+        "workload: all {} VGG-16 convolution layers ({} total MACs)\n",
+        convs.len(),
+        convs.iter().map(|c| c.macs()).sum::<u64>()
+    );
+
+    let mut table = Table::new(vec![
+        "switches",
+        "dist bw",
+        "total cycles",
+        "mean util",
+        "core area (mm^2)",
+        "cycles x area",
+    ]);
+    let mut best: Option<(f64, String)> = None;
+    for &switches in &[64usize, 128, 256] {
+        for &bw in &[4usize, 8, 16] {
+            let cfg = MaeriConfig::builder(switches)
+                .distribution_bandwidth(bw)
+                .collection_bandwidth(bw)
+                .build()?;
+            let mapper = ConvMapper::new(cfg);
+            let mut cycles = 0u64;
+            let mut utils = Vec::new();
+            for layer in &convs {
+                let run = mapper.run(layer, VnPolicy::Auto)?;
+                cycles += run.cycles.as_u64();
+                utils.push(run.utilization());
+            }
+            let mean_util =
+                maeri_repro::sim::util::mean(&utils).expect("vgg has conv layers");
+            let area = DesignPoint {
+                kind: AcceleratorKind::Maeri,
+                num_pes: switches,
+                local_bytes: 512,
+                pb_kb: 80,
+            }
+            .core_area_um2()
+                / 1e6;
+            let product = cycles as f64 * area;
+            let label = format!("{switches} switches @ {bw}x");
+            if best.as_ref().is_none_or(|(b, _)| product < *b) {
+                best = Some((product, label));
+            }
+            table.row(vec![
+                switches.to_string(),
+                format!("{bw}x"),
+                cycles.to_string(),
+                fmt_f64(mean_util, 3),
+                fmt_f64(area, 2),
+                format!("{:.3e}", product),
+            ]);
+        }
+    }
+    print!("{table}");
+    let (_, label) = best.expect("sweep is non-empty");
+    println!("\nbest cycles-x-area point: {label}");
+    println!(
+        "Takeaway: bandwidth must scale with the array — a 256-switch MAERI at 4x \
+         starves, while 64 switches rarely justify 16x trees."
+    );
+    Ok(())
+}

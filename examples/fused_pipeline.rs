@@ -1,0 +1,61 @@
+//! Cross-layer fusion (the Figure 14 scenario): fuse three AlexNet
+//! convolution layers into one on-chip pipeline, inspect how the
+//! multiplier switches are partitioned, and compare with the rigid
+//! fixed-cluster baseline.
+//!
+//! Run with: `cargo run --example fused_pipeline`
+
+use maeri_repro::baselines::FixedClusterArray;
+use maeri_repro::dnn::layer::Layer;
+use maeri_repro::dnn::{zoo, ConvLayer};
+use maeri_repro::fabric::{CrossLayerMapper, MaeriConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let alexnet = zoo::alexnet();
+    let chain: Vec<ConvLayer> = ["alexnet_conv3", "alexnet_conv4", "alexnet_conv5"]
+        .iter()
+        .map(|name| match alexnet.layer(name) {
+            Some(Layer::Conv(c)) => c.clone(),
+            _ => unreachable!("alexnet layers exist"),
+        })
+        .collect();
+    println!("fusing (the paper's Map C):");
+    for layer in &chain {
+        println!("  {layer}");
+    }
+
+    let cfg = MaeriConfig::paper_64();
+    let mapper = CrossLayerMapper::new(cfg);
+    let shares = mapper.partition(&chain)?;
+    println!("\nswitch partition over {} multipliers:", cfg.num_mult_switches());
+    for stage in mapper.stage_costs(&chain, &shares) {
+        println!(
+            "  {:14} {:>2} switches, {} VNs, stage compute {:>10} cyc",
+            stage.name,
+            stage.switches,
+            stage.num_vns,
+            stage.cycles.as_u64()
+        );
+    }
+
+    let fused = mapper.run(&chain)?;
+    println!(
+        "\nMAERI fused: {} cycles, {:.1}% utilization, {} bytes of DRAM traffic avoided \
+         (intermediate activations stay on chip)",
+        fused.cycles.as_u64(),
+        fused.utilization() * 100.0,
+        fused.extra.get("dram_bytes_saved")
+    );
+
+    let baseline = FixedClusterArray::paper_baseline().run_fused(&chain)?;
+    println!(
+        "fixed clusters: {} cycles, {:.1}% utilization",
+        baseline.cycles.as_u64(),
+        baseline.utilization() * 100.0
+    );
+    println!(
+        "speedup: {:.2}x (paper band for Maps A-E: 1.08-1.5x)",
+        baseline.cycles.as_f64() / fused.cycles.as_f64()
+    );
+    Ok(())
+}

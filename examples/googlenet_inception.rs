@@ -1,0 +1,54 @@
+//! GoogLeNet inception module on MAERI: the introduction's motivating
+//! scenario — 1x1, 3x3 and 5x5 filters *simultaneously resident* on one
+//! homogeneous fabric, each branch with its own virtual-neuron shape.
+//!
+//! Run with: `cargo run --example googlenet_inception`
+
+use maeri_repro::dnn::ConvLayer;
+use maeri_repro::fabric::{CrossLayerMapper, MaeriConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Inception 3a: four branches over the 192x28x28 input.
+    let branches: Vec<Vec<ConvLayer>> = vec![
+        vec![ConvLayer::new("1x1", 192, 28, 28, 64, 1, 1, 1, 0)],
+        vec![
+            ConvLayer::new("3x3_reduce", 192, 28, 28, 96, 1, 1, 1, 0),
+            ConvLayer::new("3x3", 96, 28, 28, 128, 3, 3, 1, 1),
+        ],
+        vec![
+            ConvLayer::new("5x5_reduce", 192, 28, 28, 16, 1, 1, 1, 0),
+            ConvLayer::new("5x5", 16, 28, 28, 32, 5, 5, 1, 2),
+        ],
+        vec![ConvLayer::new("pool_proj", 192, 28, 28, 32, 1, 1, 1, 0)],
+    ];
+    println!("GoogLeNet inception 3a: {} branches, filter sizes 1x1 / 3x3 / 5x5", branches.len());
+
+    let cfg = MaeriConfig::paper_64();
+    let mapper = CrossLayerMapper::new(cfg);
+    let run = mapper.run_parallel(&branches)?;
+
+    println!("\nswitch partition across the {} multipliers:", cfg.num_mult_switches());
+    for layer in branches.iter().flatten() {
+        let (granule, pieces, ct) = CrossLayerMapper::vn_granule(layer);
+        println!(
+            "  {:12} {:>2} switches | VN granule {:>2} ({} ch/VN, {} fold pieces)",
+            layer.name,
+            run.extra.get(&format!("switches_{}", layer.name)),
+            granule,
+            ct,
+            pieces,
+        );
+    }
+    println!(
+        "\nmodule: {} cycles, {:.1}% utilization, {} SRAM reads",
+        run.cycles.as_u64(),
+        run.utilization() * 100.0,
+        run.sram_reads
+    );
+    println!(
+        "The module input (192x28x28) is multicast once by the distribution tree and \
+         consumed by all four branch heads — the flexibility a fixed-cluster design \
+         with one nominal filter size cannot offer."
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Sparse-workload sweep (the Figure 13 scenario): prune VGG-16 conv8
+//! weights to increasing sparsity and watch MAERI's flexible virtual
+//! neurons pull away from a rigid fixed-cluster accelerator.
+//!
+//! Run with: `cargo run --release --example sparse_sweep`
+
+use maeri_repro::baselines::FixedClusterArray;
+use maeri_repro::dnn::{zoo, WeightMask};
+use maeri_repro::fabric::{MaeriConfig, SparseConvMapper};
+use maeri_repro::sim::table::{fmt_pct, Table};
+use maeri_repro::sim::SimRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layer = zoo::vgg16_c8();
+    println!("layer: {layer}");
+    println!("pruning per filter, 3-channel (27-weight) neuron slices, seed 7\n");
+
+    let maeri = SparseConvMapper::new(MaeriConfig::paper_64());
+    let cluster = FixedClusterArray::paper_baseline();
+
+    let mut table = Table::new(vec![
+        "zero weights",
+        "MAERI cycles",
+        "MAERI util",
+        "cluster cycles",
+        "cluster util",
+        "speedup",
+    ]);
+    for pct in (0..=50).step_by(5) {
+        let mask = WeightMask::generate(&layer, f64::from(pct) / 100.0, &mut SimRng::seed(7));
+        let m = maeri.run(&layer, &mask, 3)?;
+        let c = cluster.run_conv(&layer, &mask, 3)?;
+        table.row(vec![
+            format!("{pct}%"),
+            m.cycles.as_u64().to_string(),
+            fmt_pct(m.utilization()),
+            c.cycles.as_u64().to_string(),
+            fmt_pct(c.utilization()),
+            format!("{:.2}x", c.cycles.as_f64() / m.cycles.as_f64()),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\nThe cluster baseline barely moves: its 16-PE clusters round every shrunken \
+         neuron up, and its shared bus serializes the extra partial-sum collection. \
+         MAERI re-sizes each virtual neuron to the surviving weights and its chubby \
+         ART absorbs the collection traffic."
+    );
+    Ok(())
+}

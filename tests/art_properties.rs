@@ -1,0 +1,128 @@
+//! Property-based tests of the Augmented Reduction Tree's two formal
+//! properties (Section 3.2.2):
+//!
+//! * **Property 1 (Configurability):** an ART with N leaves can map any
+//!   adder tree over k consecutive leaves, k <= N.
+//! * **Property 2 (Non-Blocking):** multiple such adder trees map
+//!   simultaneously without sharing links when their leaf sets are
+//!   disjoint.
+
+use maeri_repro::fabric::art::{pack_vns, ArtConfig, VnRange};
+use maeri_repro::noc::{BinaryTree, ChubbyTree};
+use proptest::prelude::*;
+
+fn chubby(leaves: usize, bw: usize) -> ChubbyTree {
+    ChubbyTree::new(BinaryTree::with_leaves(leaves).unwrap(), bw).unwrap()
+}
+
+proptest! {
+    /// Property 1: every contiguous range reduces to the exact sum.
+    #[test]
+    fn any_contiguous_vn_reduces_correctly(
+        log_leaves in 2usize..=8,
+        start_frac in 0.0f64..1.0,
+        len_frac in 0.0f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let leaves = 1usize << log_leaves;
+        let start = ((leaves - 1) as f64 * start_frac) as usize;
+        let max_len = leaves - start;
+        let len = (1.0 + (max_len - 1) as f64 * len_frac) as usize;
+        let range = VnRange::new(start, len);
+
+        let config = ArtConfig::build(chubby(leaves, (leaves / 2).clamp(2, 16)), &[range])
+            .expect("single contiguous VN always maps (Property 1)");
+
+        let mut rng = maeri_repro::sim::SimRng::seed(seed);
+        let values: Vec<f32> = (0..leaves).map(|_| rng.next_f32()).collect();
+        let sums = config.reduce(&values);
+        prop_assert_eq!(sums.len(), 1);
+        let expected: f32 = values[start..start + len].iter().sum();
+        prop_assert!(
+            (sums[0] - expected).abs() <= 1e-3 * (1.0 + expected.abs()),
+            "got {} want {}", sums[0], expected
+        );
+    }
+
+    /// Property 2: disjoint VN packings all reduce correctly and claim
+    /// each forwarding link at most once.
+    #[test]
+    fn disjoint_vns_are_non_blocking(
+        log_leaves in 3usize..=7,
+        sizes in prop::collection::vec(1usize..=20, 1..20),
+        seed in 0u64..1000,
+    ) {
+        let leaves = 1usize << log_leaves;
+        let (ranges, _) = pack_vns(leaves, &sizes);
+        prop_assume!(!ranges.is_empty());
+
+        let config = ArtConfig::build(chubby(leaves, (leaves / 4).max(2)), &ranges)
+            .expect("disjoint contiguous VNs always map (Property 2)");
+
+        // Functional correctness of every VN at once.
+        let mut rng = maeri_repro::sim::SimRng::seed(seed);
+        let values: Vec<f32> = (0..leaves).map(|_| rng.next_f32()).collect();
+        let sums = config.reduce(&values);
+        for (range, sum) in ranges.iter().zip(&sums) {
+            let expected: f32 = values[range.start..range.end()].iter().sum();
+            prop_assert!(
+                (sum - expected).abs() <= 1e-3 * (1.0 + expected.abs()),
+                "vn {:?}: got {} want {}", range, sum, expected
+            );
+        }
+
+        // No forwarding link claimed twice, in any direction.
+        let mut seen = std::collections::BTreeSet::new();
+        for fl in config.forwarding_links() {
+            let key = (fl.from.min(fl.to), fl.from.max(fl.to));
+            prop_assert!(seen.insert(key), "link {key:?} claimed twice");
+        }
+    }
+
+    /// Max-reduction (POOL comparator mode) is as correct as addition.
+    #[test]
+    fn pool_mode_reduces_to_maximum(
+        sizes in prop::collection::vec(1usize..=16, 1..8),
+        seed in 0u64..1000,
+    ) {
+        let leaves = 64;
+        let (ranges, _) = pack_vns(leaves, &sizes);
+        prop_assume!(!ranges.is_empty());
+        let config = ArtConfig::build(chubby(leaves, 8), &ranges).expect("mappable");
+        let mut rng = maeri_repro::sim::SimRng::seed(seed);
+        let values: Vec<f32> = (0..leaves).map(|_| rng.next_f32()).collect();
+        let maxes = config.reduce_max(&values);
+        for (range, max) in ranges.iter().zip(&maxes) {
+            let expected = values[range.start..range.end()]
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
+            prop_assert_eq!(*max, expected);
+        }
+    }
+
+    /// Chubby-link claim of Figure 6(c): when the VNs span the whole
+    /// array and the root is wide enough for their outputs, collection
+    /// is fully non-blocking (slowdown 1.0). Smaller VNs crammed under
+    /// one subtree legitimately funnel — that is the 0.25x-bandwidth
+    /// effect of Figure 13 — but the slowdown can never exceed the
+    /// output count.
+    #[test]
+    fn chubby_root_collection_bounds(
+        vn_size in 1usize..=16,
+    ) {
+        let leaves = 64;
+        let count = leaves / vn_size;
+        let (ranges, _) = pack_vns(leaves, &vec![vn_size; count]);
+        let config = ArtConfig::build(chubby(leaves, 16), &ranges).expect("mappable");
+        let slowdown = config.throughput_slowdown();
+        prop_assert!(slowdown <= count as f64 + 1e-9,
+            "slowdown {} exceeds {} outputs", slowdown, count);
+        if vn_size >= 4 && count <= 16 {
+            // Full-array spread with <= root-bandwidth outputs: fully
+            // non-blocking.
+            prop_assert!((slowdown - 1.0).abs() < 1e-9,
+                "slowdown {} for {} spread VNs of {}", slowdown, count, vn_size);
+        }
+    }
+}

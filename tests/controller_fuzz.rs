@@ -1,0 +1,76 @@
+//! Fuzzing the network controller with generated workloads: every
+//! random-but-valid model must compile to a schedule and execute with
+//! causally consistent statistics, dense and sparse, across fabric
+//! sizes.
+
+use maeri_repro::dnn::zoo;
+use maeri_repro::fabric::controller::Controller;
+use maeri_repro::fabric::MaeriConfig;
+use maeri_repro::sim::SimRng;
+
+#[test]
+fn random_models_always_compile_and_run() {
+    let controller = Controller::new(MaeriConfig::paper_64(), 80);
+    for seed in 0..60u64 {
+        let model = zoo::random_model(&mut SimRng::seed(seed), 1 + (seed as usize % 7));
+        let run = controller
+            .run_model(&model)
+            .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+        assert_eq!(run.layers.len(), model.layers().len(), "seed {seed}");
+        assert_eq!(run.total_macs(), model.total_work(), "seed {seed}");
+        let util = run.utilization();
+        assert!(
+            util > 0.0 && util <= 1.0 + 1e-9,
+            "seed {seed}: utilization {util}"
+        );
+        for (cmd, layer) in run.schedule.iter().zip(model.layers()) {
+            assert_eq!(cmd.layer, layer.name(), "seed {seed}");
+            assert!(cmd.vn_size >= 1 && cmd.vn_size <= 64, "seed {seed}: {cmd:?}");
+        }
+    }
+}
+
+#[test]
+fn random_models_run_sparse_too() {
+    let controller = Controller::new(MaeriConfig::paper_64(), 80);
+    for seed in 0..20u64 {
+        let model = zoo::random_model(&mut SimRng::seed(seed + 1000), 3);
+        let dense = controller.run_model(&model).expect("dense runs");
+        let sparse = controller
+            .run_model_sparse(&model, 0.5, seed)
+            .expect("sparse runs");
+        assert!(
+            sparse.total_macs() <= dense.total_macs(),
+            "seed {seed}: sparsity increased work"
+        );
+    }
+}
+
+#[test]
+fn random_models_scale_across_fabrics() {
+    // The same model runs on 16-...-256-switch fabrics; bigger fabrics
+    // never do less work and utilization stays causal.
+    for seed in [3u64, 17, 29] {
+        let model = zoo::random_model(&mut SimRng::seed(seed), 4);
+        let mut prev_cycles = u64::MAX;
+        for switches in [16usize, 64, 256] {
+            let bw = (switches / 8).max(2);
+            let cfg = MaeriConfig::builder(switches)
+                .distribution_bandwidth(bw)
+                .collection_bandwidth(bw)
+                .build()
+                .expect("valid fabric");
+            let run = Controller::new(cfg, 80).run_model(&model).expect("runs");
+            assert_eq!(run.total_macs(), model.total_work());
+            assert!(run.utilization() <= 1.0 + 1e-9);
+            // Larger fabrics at matched per-switch bandwidth are
+            // monotonically not-slower, modulo startup noise.
+            assert!(
+                run.total_cycles() <= prev_cycles.saturating_add(4096),
+                "seed {seed}: {switches} switches slower ({} > {prev_cycles})",
+                run.total_cycles()
+            );
+            prev_cycles = run.total_cycles();
+        }
+    }
+}

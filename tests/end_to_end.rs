@@ -1,0 +1,105 @@
+//! Whole-network integration tests: every layer kind of every Table 1
+//! model maps onto MAERI and yields causally consistent statistics.
+
+use maeri_repro::dnn::layer::Layer;
+use maeri_repro::dnn::zoo;
+use maeri_repro::fabric::engine::RunStats;
+use maeri_repro::fabric::{
+    ConvMapper, FcMapper, LstmMapper, MaeriConfig, PoolMapper, VnPolicy,
+};
+
+fn run_layer(cfg: MaeriConfig, layer: &Layer) -> RunStats {
+    match layer {
+        Layer::Conv(conv) => ConvMapper::new(cfg)
+            .run(conv, VnPolicy::Auto)
+            .expect("conv maps"),
+        Layer::Fc(fc) => FcMapper::new(cfg).run(fc).expect("fc maps"),
+        Layer::Pool(pool) => PoolMapper::new(cfg).run(pool).expect("pool maps"),
+        Layer::Lstm(lstm) => LstmMapper::new(cfg).run(lstm).expect("lstm maps"),
+        other => unreachable!("unhandled layer kind {}", other.kind()),
+    }
+}
+
+#[test]
+fn every_table1_model_runs_end_to_end() {
+    let cfg = MaeriConfig::paper_64();
+    for model in zoo::all_models() {
+        let mut total = RunStats::new(model.name(), 64, maeri_repro::sim::Cycle::ZERO, 0);
+        for layer in model.layers() {
+            let run = run_layer(cfg, layer);
+            // Causal consistency: utilization in (0, 1], work preserved.
+            assert!(run.cycles.as_u64() > 0, "{} took 0 cycles", layer.name());
+            assert_eq!(run.macs, layer.work(), "{} lost work", layer.name());
+            let util = run.utilization();
+            assert!(
+                util > 0.0 && util <= 1.0 + 1e-9,
+                "{}: utilization {util}",
+                layer.name()
+            );
+            total.absorb(&run);
+        }
+        assert_eq!(total.macs, model.total_work(), "{}", model.name());
+        assert!(
+            total.sram_reads > 0 && total.sram_writes > 0,
+            "{} moved no data",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn convnets_sustain_high_utilization() {
+    // End-to-end CONV utilization of the 3x3-dominated networks.
+    let cfg = MaeriConfig::paper_64();
+    for model in [zoo::vgg16(), zoo::resnet50()] {
+        let mut cycles = 0u64;
+        let mut macs = 0u64;
+        for conv in model.conv_layers() {
+            let run = ConvMapper::new(cfg).run(conv, VnPolicy::Auto).unwrap();
+            cycles += run.cycles.as_u64();
+            macs += run.macs;
+        }
+        let util = macs as f64 / (64.0 * cycles as f64);
+        assert!(
+            util > 0.75,
+            "{}: end-to-end conv utilization {util}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn bigger_fabric_is_faster_on_big_layers() {
+    let layer = zoo::vgg16_c8();
+    let small = ConvMapper::new(MaeriConfig::paper_64())
+        .run(&layer, VnPolicy::Auto)
+        .unwrap();
+    let big_cfg = MaeriConfig::builder(256)
+        .distribution_bandwidth(32)
+        .collection_bandwidth(32)
+        .build()
+        .unwrap();
+    let big = ConvMapper::new(big_cfg).run(&layer, VnPolicy::Auto).unwrap();
+    assert!(
+        big.cycles.as_u64() * 2 < small.cycles.as_u64(),
+        "256 switches should be >2x faster: {} vs {}",
+        big.cycles.as_u64(),
+        small.cycles.as_u64()
+    );
+}
+
+#[test]
+fn sram_traffic_accounts_weights_at_least_once() {
+    let cfg = MaeriConfig::paper_64();
+    for model in [zoo::alexnet(), zoo::vgg16()] {
+        for conv in model.conv_layers() {
+            let run = ConvMapper::new(cfg).run(conv, VnPolicy::Auto).unwrap();
+            assert!(
+                run.sram_reads >= conv.weight_count() as u64,
+                "{}: fewer reads than weights",
+                conv.name
+            );
+            assert_eq!(run.sram_writes, conv.output_count() as u64);
+        }
+    }
+}

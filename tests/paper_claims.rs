@@ -1,0 +1,128 @@
+//! End-to-end assertions of the paper's headline claims, regenerated
+//! through the same experiment functions the figure binaries use.
+//!
+//! These tests pin the *shape* of every evaluation artifact — who wins,
+//! by roughly what factor, where crossovers fall — as required for a
+//! faithful reproduction. Exact absolute numbers are recorded in
+//! `EXPERIMENTS.md`.
+
+use maeri_bench::experiments;
+
+#[test]
+fn table3_matches_paper_design_points() {
+    let points = experiments::table3();
+    let areas_mm2: Vec<f64> = points.iter().map(|p| p.area_um2() / 1e6).collect();
+    let expected = [6.00, 2.62, 6.00, 3.84, 6.00];
+    for (measured, paper) in areas_mm2.iter().zip(expected) {
+        assert!(
+            (measured - paper).abs() < 0.05,
+            "area {measured} vs paper {paper}"
+        );
+    }
+    assert!((points[2].num_pes as i64 - 1192).abs() <= 15);
+    assert!((points[4].num_pes as i64 - 374).abs() <= 5);
+}
+
+#[test]
+fn figure12_maeri_fastest_on_modern_layers() {
+    let rows = experiments::figure12();
+    // MAERI wins at least 8 of the 10 layers against both baselines.
+    let wins = rows
+        .iter()
+        .filter(|r| {
+            r.maeri.cycles <= r.systolic.cycles && r.maeri.cycles <= r.row_stationary.cycles
+        })
+        .count();
+    assert!(wins >= 8, "MAERI won only {wins}/10 layers");
+    // ~95% utilization on 3x3-dominated layers.
+    for row in rows.iter().filter(|r| r.layer.starts_with("vgg")) {
+        assert!(
+            row.maeri.utilization() > 0.9,
+            "{} util {}",
+            row.layer,
+            row.maeri.utilization()
+        );
+    }
+    let mean = experiments::figure12_mean_speedup(&rows);
+    assert!(mean > 1.4, "mean speedup {mean}");
+}
+
+#[test]
+fn figure13_sparsity_story_holds() {
+    let rows = experiments::figure13();
+    // The baseline is flat (rigid clusters cannot exploit sparsity).
+    let first = rows.first().unwrap().cluster.cycles.as_f64();
+    let last = rows.last().unwrap().cluster.cycles.as_f64();
+    assert!(
+        (first - last).abs() / first < 0.05,
+        "baseline should stay flat: {first} -> {last}"
+    );
+    // MAERI's latency falls monotonically (within noise) and the
+    // speedup at 50% sparsity exceeds 3x.
+    let maeri_first = rows.first().unwrap().maeri_1x.cycles.as_f64();
+    let maeri_last = rows.last().unwrap().maeri_1x.cycles.as_f64();
+    assert!(maeri_last < 0.6 * maeri_first);
+    let speedup = last / maeri_last;
+    assert!(speedup > 3.0, "50% sparse speedup {speedup}");
+    // Paper: 73.8% utilization at 50% sparsity.
+    let util = rows.last().unwrap().maeri_1x.utilization();
+    assert!((util - 0.738).abs() < 0.08, "util {util}");
+}
+
+#[test]
+fn figure14_fused_speedups_within_band() {
+    let rows = experiments::figure14();
+    assert_eq!(rows.len(), 5);
+    for row in &rows {
+        let s = row.speedup();
+        assert!(
+            (1.0..=2.6).contains(&s),
+            "{}: speedup {s} out of band",
+            row.name
+        );
+        // MAERI always uses its switches at least as well.
+        assert!(
+            row.maeri.utilization() + 0.02 >= row.cluster.utilization(),
+            "{}: utilization regressed",
+            row.name
+        );
+    }
+    let max = rows
+        .iter()
+        .map(experiments::Fig14Row::speedup)
+        .fold(f64::MIN, f64::max);
+    assert!(max >= 1.5, "max fused speedup {max}");
+}
+
+#[test]
+fn figure17_walkthrough_numbers() {
+    let report = experiments::figure17();
+    assert_eq!(report.systolic.cycles, 156);
+    assert_eq!(report.systolic.sram_reads, 1323);
+    assert_eq!(report.maeri_paper_stated.cycles, 143);
+    assert_eq!(report.maeri_paper_stated.sram_reads, 516);
+    assert_eq!(report.maeri.cycles, 140);
+    assert_eq!(report.maeri.sram_reads, 516);
+    assert!(report.vgg16_read_ratio_256 > 1.5);
+}
+
+#[test]
+fn headline_utilization_range() {
+    let improvements = experiments::headline_improvements();
+    let max = improvements
+        .iter()
+        .map(|(_, _, _, pct)| *pct)
+        .fold(f64::MIN, f64::max);
+    // Paper: up to 459% better utilization; we demand >150% somewhere.
+    assert!(max > 150.0, "max improvement {max}%");
+    // The typical modern-layer improvement clears the paper's 8% floor.
+    let above_floor = improvements
+        .iter()
+        .filter(|(_, _, _, pct)| *pct >= 8.0)
+        .count();
+    assert!(
+        above_floor * 10 >= improvements.len() * 8,
+        "only {above_floor}/{} comparisons clear the 8% floor",
+        improvements.len()
+    );
+}

@@ -1,0 +1,135 @@
+//! Cross-validation: the clocked trace simulator and the analytic
+//! steady-state model must agree on throughput across the resource
+//! regimes (compute-bound, distribution-bound, collection-bound).
+
+use maeri_repro::fabric::cycle_sim::{simulate_conv_iteration, LaneSpec};
+use maeri_repro::fabric::MaeriConfig;
+
+/// Analytic steady-state cycles per step, mirroring the CONV mapper:
+/// max(1, unique-inputs / dist_bw, lanes / collect_bw).
+fn analytic_per_step(cfg: &MaeriConfig, lanes: &[LaneSpec], shared: usize) -> f64 {
+    let shared = shared.min(
+        lanes
+            .iter()
+            .map(|l| l.fresh_inputs_per_step)
+            .min()
+            .unwrap_or(0),
+    );
+    let private: u64 = lanes
+        .iter()
+        .map(|l| (l.fresh_inputs_per_step - shared) as u64)
+        .sum();
+    let words = shared as u64 + private;
+    let by_dist = words as f64 / cfg.dist_bandwidth() as f64;
+    let by_collect = lanes.len() as f64 / cfg.collect_bandwidth() as f64;
+    by_dist.max(by_collect).max(1.0)
+}
+
+fn check_agreement(cfg: &MaeriConfig, lanes: &[LaneSpec], shared: usize, label: &str) {
+    let steps = 400u64;
+    let trace = simulate_conv_iteration(cfg, lanes, steps, shared).expect("simulable");
+    let traced = trace.cycles.as_u64() as f64 / steps as f64;
+    let analytic = analytic_per_step(cfg, lanes, shared);
+    let ratio = traced / analytic;
+    assert!(
+        (0.9..=1.3).contains(&ratio),
+        "{label}: traced {traced:.3} vs analytic {analytic:.3} cycles/step (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn compute_bound_regime_agrees() {
+    let cfg = MaeriConfig::paper_64();
+    let lanes = vec![
+        LaneSpec {
+            vn_size: 9,
+            fresh_inputs_per_step: 3
+        };
+        7
+    ];
+    check_agreement(&cfg, &lanes, 3, "7 VNs of 9, shared window");
+}
+
+#[test]
+fn distribution_bound_regime_agrees() {
+    let cfg = MaeriConfig::paper_64();
+    for inputs in [16usize, 24, 44] {
+        let lanes = vec![LaneSpec {
+            vn_size: 61,
+            fresh_inputs_per_step: inputs,
+        }];
+        check_agreement(&cfg, &lanes, 0, &format!("1 VN, {inputs} words/step"));
+    }
+}
+
+#[test]
+fn collection_bound_regime_agrees() {
+    let cfg = MaeriConfig::builder(64)
+        .distribution_bandwidth(64)
+        .collection_bandwidth(2)
+        .build()
+        .unwrap();
+    for count in [8usize, 16, 32] {
+        let lanes = vec![
+            LaneSpec {
+                vn_size: 2,
+                fresh_inputs_per_step: 1
+            };
+            count
+        ];
+        check_agreement(&cfg, &lanes, 1, &format!("{count} tiny VNs, 2-wide root"));
+    }
+}
+
+#[test]
+fn mixed_regime_sweep_agrees() {
+    // Sweep lane counts and input demands; trace and model must track
+    // each other across the whole grid.
+    let cfg = MaeriConfig::paper_64();
+    for count in [1usize, 2, 4, 6] {
+        for inputs in [1usize, 4, 9, 16] {
+            let vn = (64 / count.max(1)).min(16);
+            let lanes = vec![
+                LaneSpec {
+                    vn_size: vn,
+                    fresh_inputs_per_step: inputs
+                };
+                count
+            ];
+            check_agreement(
+                &cfg,
+                &lanes,
+                inputs / 2,
+                &format!("{count} lanes x {inputs} words"),
+            );
+        }
+    }
+}
+
+#[test]
+fn stall_attribution_matches_the_binding_resource() {
+    // Distribution-bound: distribution stalls dominate.
+    let cfg = MaeriConfig::paper_64();
+    let lanes = vec![LaneSpec {
+        vn_size: 61,
+        fresh_inputs_per_step: 44,
+    }];
+    let trace = simulate_conv_iteration(&cfg, &lanes, 200, 0).unwrap();
+    assert!(trace.distribution_stall_cycles > trace.collection_stall_cycles);
+
+    // Collection-bound: collection stalls dominate.
+    let thin = MaeriConfig::builder(64)
+        .distribution_bandwidth(64)
+        .collection_bandwidth(1)
+        .build()
+        .unwrap();
+    let lanes = vec![
+        LaneSpec {
+            vn_size: 4,
+            fresh_inputs_per_step: 1
+        };
+        16
+    ];
+    let trace = simulate_conv_iteration(&thin, &lanes, 200, 1).unwrap();
+    assert!(trace.collection_stall_cycles > trace.distribution_stall_cycles);
+}
