@@ -1,0 +1,163 @@
+//! Offline stand-in for the subset of
+//! [criterion](https://docs.rs/criterion) that this workspace's
+//! benches use.
+//!
+//! The container image has no crates.io access, so the real criterion
+//! cannot be fetched. This stub keeps the `cargo bench` targets
+//! compiling and producing useful wall-clock numbers: each benchmark
+//! runs a short warmup followed by timed batches and reports the mean
+//! time per iteration. There is no statistical analysis, HTML report,
+//! or regression tracking — swap the crates.io criterion back in for
+//! those.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `body` repeatedly and records the mean wall time.
+    pub fn iter<Out, Body: FnMut() -> Out>(&mut self, mut body: Body) {
+        // Warmup (also primes caches and the branch predictor).
+        for _ in 0..3 {
+            std::hint::black_box(body());
+        }
+        // Size the timed batch so the measurement is not all clock
+        // overhead: aim for at least ~20ms of work.
+        let probe = Instant::now();
+        std::hint::black_box(body());
+        let once = probe.elapsed().max(Duration::from_nanos(20));
+        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(body());
+        }
+        self.elapsed = start.elapsed();
+        self.iters_done = iters as u64;
+    }
+
+    fn report(&self, label: &str) {
+        if self.iters_done == 0 {
+            println!("{label:<40} (no iterations run)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters_done as f64;
+        println!(
+            "{label:<40} {:>12.1} ns/iter ({} iters)",
+            per_iter, self.iters_done
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `body` as a benchmark over `input`.
+    pub fn bench_with_input<I, Body>(&mut self, id: BenchmarkId, input: &I, mut body: Body)
+    where
+        Body: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+    }
+
+    /// Runs `body` as a benchmark.
+    pub fn bench_function<Body>(&mut self, name: impl fmt::Display, mut body: Body)
+    where
+        Body: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, name));
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs `body` as a standalone benchmark.
+    pub fn bench_function<Body>(&mut self, name: impl fmt::Display, mut body: Body) -> &mut Self
+    where
+        Body: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+        };
+        body(&mut bencher);
+        bencher.report(&name.to_string());
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,240 @@
+//! Input-generation strategies: ranges, tuples, `Just`, combinators.
+
+use core::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// `generate` returns `None` when the drawn raw value is filtered out
+/// (e.g. by [`Strategy::prop_filter_map`]); the runner then rejects and
+/// redraws the whole case.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value, or `None` to reject the draw.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values, rejecting those the function declines.
+    fn prop_filter_map<Out, F>(self, reason: &'static str, fun: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<Out>,
+    {
+        FilterMap {
+            inner: self,
+            fun,
+            _reason: reason,
+        }
+    }
+
+    /// Maps generated values.
+    fn prop_map<Out, F>(self, fun: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Out,
+    {
+        Map { inner: self, fun }
+    }
+
+    /// Rejects generated values failing the predicate.
+    fn prop_filter<F>(self, reason: &'static str, fun: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            fun,
+            _reason: reason,
+        }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    fun: F,
+    _reason: &'static str,
+}
+
+impl<S: Strategy, Out, F: Fn(S::Value) -> Option<Out>> Strategy for FilterMap<S, F> {
+    type Value = Out;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Out> {
+        self.inner.generate(rng).and_then(&self.fun)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    fun: F,
+}
+
+impl<S: Strategy, Out, F: Fn(S::Value) -> Out> Strategy for Map<S, F> {
+    type Value = Out;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<Out> {
+        self.inner.generate(rng).map(&self.fun)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    fun: F,
+    _reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.fun)(v))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                Some(self.start + rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return Some(start + rng.next_u64() as $t);
+                }
+                Some(start + rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f64> {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range strategy");
+        // One draw in 4096 pins the inclusive endpoint so boundary
+        // behaviour is exercised.
+        if rng.below(4096) == 0 {
+            return Some(end);
+        }
+        Some(start + rng.unit_f64() * (end - start))
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<f32> {
+        assert!(self.start < self.end, "empty range strategy");
+        Some(self.start + (rng.unit_f64() as f32) * (self.end - self.start))
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::from_name("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = rng();
+        for _ in 0..500 {
+            let a = (3usize..7).generate(&mut rng).unwrap();
+            assert!((3..7).contains(&a));
+            let b = (1usize..=4).generate(&mut rng).unwrap();
+            assert!((1..=4).contains(&b));
+            let f = (0.25f64..0.75).generate(&mut rng).unwrap();
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn tuple_and_combinators_compose() {
+        let strat = (1usize..=8, 0usize..=2).prop_filter_map("sum must be even", |(a, b)| {
+            ((a + b) % 2 == 0).then_some(a + b)
+        });
+        let mut rng = rng();
+        let mut produced = 0;
+        for _ in 0..200 {
+            if let Some(sum) = strat.generate(&mut rng) {
+                assert_eq!(sum % 2, 0);
+                produced += 1;
+            }
+        }
+        assert!(produced > 0);
+    }
+
+    #[test]
+    fn just_clones() {
+        let mut rng = rng();
+        assert_eq!(Just(41usize).generate(&mut rng), Some(41));
+    }
+}

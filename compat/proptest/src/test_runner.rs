@@ -1,0 +1,179 @@
+//! The case-generation loop behind the `proptest!` macro.
+
+use std::fmt;
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The inputs violated an assumption; the case is re-drawn.
+    Reject(String),
+    /// A `prop_assert*!` failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Builds a failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(reason) => write!(f, "rejected: {reason}"),
+            TestCaseError::Fail(reason) => write!(f, "failed: {reason}"),
+        }
+    }
+}
+
+/// Runner configuration (the subset the workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+    /// Maximum rejections tolerated before the property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Deterministic generator feeding the strategies.
+///
+/// Seeded from the property's name so every run of the suite explores
+/// the same cases (no shrinking, so reproducibility is the debugging
+/// story).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub(crate) fn from_name(name: &str) -> Self {
+        // FNV-1a over the property name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash | 1 }
+    }
+
+    /// Returns the next 64-bit word (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `u64` below `bound` (which must be nonzero).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample below zero");
+        self.next_u64() % bound
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Drives one property: draws inputs, retries rejections, panics on the
+/// first failing case with its description.
+pub fn run_property<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property {name}: too many rejected cases \
+                     ({rejected} rejects for {accepted} accepted); \
+                     loosen the strategy or the prop_assume! conditions"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "property {name} failed after {accepted} passing case(s): {reason} \
+                     (deterministic seed — rerun to reproduce)"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut count = 0;
+        run_property(&ProptestConfig::with_cases(10), "count", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn retries_rejections() {
+        let mut draws = 0;
+        run_property(&ProptestConfig::with_cases(5), "retry", |rng| {
+            draws += 1;
+            if rng.below(2) == 0 {
+                Err(TestCaseError::reject("coin"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(draws >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "property boom failed")]
+    fn propagates_failures() {
+        run_property(&ProptestConfig::with_cases(5), "boom", |_| {
+            Err(TestCaseError::fail("expected"))
+        });
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for [serde](https://serde.rs).
+//!
+//! The container image this workspace builds in has no crates.io
+//! access, so the real serde cannot be fetched. The workspace only uses
+//! serde as `#[derive(Serialize, Deserialize)]` annotations on result
+//! types (no code path serializes through it yet), so this stub
+//! provides exactly that surface: the two marker traits and, behind the
+//! `derive` feature, no-op derive macros.
+//!
+//! If a future change needs real serialization, swap the
+//! `[workspace.dependencies]` entry back to the crates.io `serde` — the
+//! annotations are already in place.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -49,7 +49,10 @@ impl FixedClusterArray {
     /// Panics if any parameter is zero.
     #[must_use]
     pub fn new(clusters: usize, cluster_size: usize, bus_bandwidth: usize) -> Self {
-        assert!(clusters > 0 && cluster_size > 0, "cluster shape must be positive");
+        assert!(
+            clusters > 0 && cluster_size > 0,
+            "cluster shape must be positive"
+        );
         assert!(bus_bandwidth > 0, "bus bandwidth must be positive");
         FixedClusterArray {
             clusters,
@@ -78,12 +81,7 @@ impl FixedClusterArray {
     /// # Errors
     ///
     /// Returns [`SimError::Unmappable`] for an invalid channel tile.
-    pub fn run_conv(
-        &self,
-        layer: &ConvLayer,
-        mask: &WeightMask,
-        ct: usize,
-    ) -> Result<RunStats> {
+    pub fn run_conv(&self, layer: &ConvLayer, mask: &WeightMask, ct: usize) -> Result<RunStats> {
         if ct == 0 || ct > layer.in_channels {
             return Err(SimError::unmappable(format!(
                 "channel tile {ct} invalid for {} channels",
@@ -137,8 +135,10 @@ impl FixedClusterArray {
             if lanes.is_empty() {
                 // A single slice larger than the whole array folds over
                 // every cluster.
-                let folds =
-                    ceil_div(slices[idx] as u64, (self.clusters * self.cluster_size) as u64);
+                let folds = ceil_div(
+                    slices[idx] as u64,
+                    (self.clusters * self.cluster_size) as u64,
+                );
                 lanes.push(slices[idx]);
                 idx += 1;
                 total_cycles += folds; // extra pass overhead
@@ -149,8 +149,7 @@ impl FixedClusterArray {
             // per bus arbitration slot).
             let channels_active = (ct as u64).min(layer.in_channels as u64);
             let input_words = r * cols_new * channels_active;
-            let step =
-                ceil_div(input_words, self.bus_bandwidth as u64).max(lanes.len() as u64);
+            let step = ceil_div(input_words, self.bus_bandwidth as u64).max(lanes.len() as u64);
             total_cycles += p * q * step;
             let lane_weights: u64 = lanes.iter().map(|&v| v as u64).sum();
             total_macs += lane_weights * p * q;
@@ -182,10 +181,12 @@ impl FixedClusterArray {
             ((share / clusters_per_slice).max(1), 1)
         } else {
             // Slice larger than the whole share: fold temporally.
-            (1, ceil_div(clusters_per_slice as u64, share as u64) as usize)
+            (
+                1,
+                ceil_div(clusters_per_slice as u64, share as u64) as usize,
+            )
         };
-        let bus_share =
-            (self.bus_bandwidth as f64 * share as f64 / self.clusters as f64).max(1.0);
+        let bus_share = (self.bus_bandwidth as f64 * share as f64 / self.clusters as f64).max(1.0);
         maeri::mapper::cross_layer::pipeline_stage_cycles(layer, lanes, pieces, 1, bus_share)
             .as_u64()
     }

@@ -52,7 +52,10 @@ impl RowStationary {
     /// Panics if any parameter is zero.
     #[must_use]
     pub fn new(pe_rows: usize, pe_cols: usize, sram_bandwidth: usize) -> Self {
-        assert!(pe_rows > 0 && pe_cols > 0, "array dimensions must be positive");
+        assert!(
+            pe_rows > 0 && pe_cols > 0,
+            "array dimensions must be positive"
+        );
         assert!(sram_bandwidth > 0, "sram bandwidth must be positive");
         RowStationary {
             pe_rows,
@@ -90,7 +93,9 @@ impl RowStationary {
         // Input rows entering the array per pass (row-stationary reuses
         // each input row diagonally across the columns it feeds).
         let in_rows = out_cols * layer.stride as u64
-            + (r as u64).min(self.pe_rows as u64).saturating_sub(layer.stride as u64);
+            + (r as u64)
+                .min(self.pe_rows as u64)
+                .saturating_sub(layer.stride as u64);
         let input_words = in_rows * layer.in_w as u64 * strips as u64;
         let weight_words = (strips * r.min(self.pe_rows)) as u64 * s;
         let bandwidth_cycles = ceil_div(input_words + weight_words, self.sram_bandwidth as u64);

@@ -84,13 +84,14 @@ impl SystolicArray {
 
         let full = windows / self.rows as u64;
         let rem = windows % self.rows as u64;
-        let mut cycles_per_batch = full as f64 * ((t as f64) * stall + (self.rows + self.cols) as f64);
+        let mut cycles_per_batch =
+            full as f64 * ((t as f64) * stall + (self.rows + self.cols) as f64);
         let mut reads_per_batch = full * (self.rows + self.cols) as u64 * t;
         if rem > 0 {
             // Partial iteration: weights stay resident from the last
             // full pass; only `rem` input streams flow.
-            let part_stall = ((rem as usize + self.cols) as f64 / self.sram_bandwidth as f64)
-                .max(1.0);
+            let part_stall =
+                ((rem as usize + self.cols) as f64 / self.sram_bandwidth as f64).max(1.0);
             cycles_per_batch += (t as f64) * part_stall.min(stall) + (rem - 1) as f64;
             reads_per_batch += rem * t;
         }
@@ -104,7 +105,8 @@ impl SystolicArray {
         run.sram_reads = filter_batches * reads_per_batch;
         run.sram_writes = layer.output_count() as u64;
         run.extra.add("filter_batches", filter_batches);
-        run.extra.add("window_iterations", full + u64::from(rem > 0));
+        run.extra
+            .add("window_iterations", full + u64::from(rem > 0));
         run
     }
 

@@ -1,198 +1,7 @@
 //! Ablation studies for the design choices DESIGN.md calls out:
 //! the ART's forwarding links, the chubby bandwidth, the collection
-//! bandwidth (traced cycle by cycle), and the VN-sizing policy.
-
-use maeri::cycle_sim::{simulate_conv_iteration, LaneSpec};
-use maeri::{ConvMapper, MaeriConfig, VnPolicy};
-use maeri_bench::report;
-use maeri_dnn::zoo;
-use maeri_noc::reduction::ReductionKind;
-use maeri_sim::table::{fmt_pct, Table};
-
-fn ablate_forwarding_links() {
-    // Removing the ART's forwarding links degrades it to a fat tree:
-    // reductions must occupy aligned power-of-two subtrees.
-    let mut table = Table::new(vec![
-        "VN size (layer)",
-        "ART (with FLs)",
-        "no FLs (fat tree)",
-        "utilization lost",
-    ]);
-    let cases = [
-        (9usize, "VGG 3x3 slice"),
-        (25, "AlexNet C2 5x5 slice"),
-        (27, "VGG 3x3x3 neuron"),
-        (14, "50%-sparse slice"),
-        (5, "pruned tiny neuron"),
-    ];
-    for (vn, label) in cases {
-        let art = ReductionKind::Art.utilization(vn, 64);
-        let fat = ReductionKind::FatTree.utilization(vn, 64);
-        table.row(vec![
-            format!("{vn} ({label})"),
-            fmt_pct(art),
-            fmt_pct(fat),
-            fmt_pct(art - fat),
-        ]);
-    }
-    report::section("ablation 1: ART forwarding links", &table);
-}
-
-fn ablate_chubby_bandwidth() {
-    let layer = zoo::vgg16_c8();
-    let mut table = Table::new(vec!["root bandwidth", "cycles", "utilization"]);
-    for bw in [1usize, 2, 4, 8, 16, 32] {
-        let cfg = MaeriConfig::builder(64)
-            .distribution_bandwidth(bw)
-            .collection_bandwidth(bw)
-            .build()
-            .expect("valid configuration");
-        let run = ConvMapper::new(cfg)
-            .run(&layer, VnPolicy::Auto)
-            .expect("mappable");
-        table.row(vec![
-            format!("{bw}x"),
-            report::cycles(run.cycles.as_u64()),
-            fmt_pct(run.utilization()),
-        ]);
-    }
-    report::section(
-        "ablation 2: chubby-tree root bandwidth (VGG-16 conv8, dense)",
-        &table,
-    );
-}
-
-fn ablate_collection_bandwidth_trace() {
-    // Clocked trace of the Figure 13 effect: 16 tiny sparse lanes whose
-    // outputs must all leave through the ART root. Thin collection
-    // back-pressures ready waves; the stall column shows it directly.
-    let mut table = Table::new(vec![
-        "collection bandwidth",
-        "traced cycles",
-        "waves/cycle",
-        "collection stalls (lane-cycles)",
-    ]);
-    let lanes = vec![
-        LaneSpec {
-            vn_size: 4,
-            fresh_inputs_per_step: 2
-        };
-        16
-    ];
-    for bw in [1usize, 2, 4, 8, 16] {
-        let cfg = MaeriConfig::builder(64)
-            .distribution_bandwidth(32)
-            .collection_bandwidth(bw)
-            .build()
-            .expect("valid configuration");
-        let trace = simulate_conv_iteration(&cfg, &lanes, 200, 2).expect("simulable");
-        table.row(vec![
-            format!("{bw}x"),
-            report::cycles(trace.cycles.as_u64()),
-            maeri_sim::table::fmt_f64(trace.throughput(), 2),
-            report::cycles(trace.collection_stall_cycles),
-        ]);
-    }
-    report::section(
-        "ablation 3: ART collection bandwidth (clocked trace, 16 sparse lanes)",
-        &table,
-    );
-}
-
-fn ablate_vn_policy() {
-    let mut table = Table::new(vec![
-        "layer",
-        "FullFilter util",
-        "1 channel/VN util",
-        "3 channels/VN util",
-        "Auto util",
-    ]);
-    let mapper = ConvMapper::new(MaeriConfig::paper_64());
-    let layers = [
-        zoo::vgg16_c8(),
-        maeri_dnn::ConvLayer::new("alexnet_conv2", 96, 27, 27, 256, 5, 5, 1, 2),
-        maeri_dnn::ConvLayer::new("alexnet_conv1", 3, 224, 224, 96, 11, 11, 4, 2),
-    ];
-    for layer in layers {
-        let util = |policy| {
-            mapper
-                .run(&layer, policy)
-                .map_or(f64::NAN, |r| r.utilization())
-        };
-        table.row(vec![
-            layer.name.clone(),
-            fmt_pct(util(VnPolicy::FullFilter)),
-            fmt_pct(util(VnPolicy::ChannelsPerVn(1))),
-            fmt_pct(util(VnPolicy::ChannelsPerVn(3.min(layer.in_channels)))),
-            fmt_pct(util(VnPolicy::Auto)),
-        ]);
-    }
-    report::section("ablation 4: virtual-neuron sizing policy", &table);
-}
-
-fn ablate_fold_mode() {
-    // Section 4.8 offers two homes for folded psums: adder-switch
-    // temporal registers, or round-trips through the prefetch buffer.
-    use maeri::FoldMode;
-    let mapper = ConvMapper::new(MaeriConfig::paper_64());
-    let mut table = Table::new(vec![
-        "layer (fold factor)",
-        "AS registers: cycles / SRAM",
-        "PB round-trip: cycles / SRAM",
-    ]);
-    for layer in [
-        zoo::vgg16_c8(),
-        maeri_dnn::ConvLayer::new("alexnet_conv1", 3, 224, 224, 96, 11, 11, 4, 2),
-    ] {
-        let plan = mapper.plan(&layer, VnPolicy::Auto).expect("mappable");
-        let reg = mapper
-            .run_with_fold_mode(&layer, VnPolicy::Auto, FoldMode::AdderRegister)
-            .expect("mappable");
-        let pb = mapper
-            .run_with_fold_mode(&layer, VnPolicy::Auto, FoldMode::PbRoundTrip)
-            .expect("mappable");
-        table.row(vec![
-            format!("{} ({}x)", layer.name, plan.fold_factor()),
-            format!(
-                "{} / {}",
-                report::cycles(reg.cycles.as_u64()),
-                report::cycles(reg.sram_accesses())
-            ),
-            format!(
-                "{} / {}",
-                report::cycles(pb.cycles.as_u64()),
-                report::cycles(pb.sram_accesses())
-            ),
-        ]);
-    }
-    report::section("ablation 5: folding mode (Section 4.8)", &table);
-}
+//! (thin wrapper over `maeri_bench::reports::ablations`).
 
 fn main() {
-    report::header(
-        "Ablations — forwarding links, chubby bandwidth, collection trace, VN policy",
-        "design-choice studies beyond the paper's figures",
-    );
-    ablate_forwarding_links();
-    ablate_chubby_bandwidth();
-    ablate_collection_bandwidth_trace();
-    ablate_vn_policy();
-    ablate_fold_mode();
-    report::summary(&[
-        "forwarding links are what separates the ART from a fat tree on the non-power-\
-         of-two neurons real (especially sparse) layers produce"
-            .to_owned(),
-        "bandwidth below 4x starves even dense 3x3 layers; above 8x buys little at 64 \
-         switches — matching the paper's 8x design point"
-            .to_owned(),
-        "the clocked trace shows the Figure-13 mechanism directly: thin collection \
-         back-pressures ready reduction waves, capping throughput at the root width"
-            .to_owned(),
-        "Auto matches or beats every fixed policy; FullFilter collapses on wide-channel \
-         layers exactly as Section 6.1 warns for large VNs"
-            .to_owned(),
-        "adder-switch temporal registers make folding nearly free; the PB round-trip \
-         alternative pays two SRAM ops per psum per extra pass"
-            .to_owned(),
-    ]);
+    maeri_bench::reports::ablations::run();
 }

@@ -1,107 +1,7 @@
 //! Energy analysis: the paper's motivation is performance *per watt* —
 //! MAERI's weight-stationary switches, multicast distribution and leaf
-//! forwarding cut SRAM traffic, which dominates accelerator energy.
-//! This report prices the Figure 17 walk-through, whole networks, and
-//! the DRAM traffic cross-layer fusion avoids.
-
-use maeri::{ConvMapper, MaeriConfig, VnPolicy};
-use maeri_baselines::{RowStationary, SystolicArray};
-use maeri_bench::{experiments, report};
-use maeri_dnn::zoo;
-use maeri_ppa::EnergyModel;
-use maeri_sim::table::{fmt_f64, Table};
-
-fn walkthrough_energy() {
-    // Price the Figure 17 example with measured traffic counts.
-    let layer = zoo::fig17_example();
-    let maeri_run = ConvMapper::new(MaeriConfig::paper_64())
-        .run(&layer, VnPolicy::Auto)
-        .expect("mappable");
-    let sa_run = SystolicArray::unconstrained(8, 8).run_conv(&layer);
-    let maeri_model = EnergyModel::maeri_64();
-    let sa_model = EnergyModel::systolic_8x8();
-    let mut table = Table::new(vec!["design", "SRAM reads", "energy (nJ)", "MACs/nJ"]);
-    for (label, run, model) in [
-        ("MAERI 64", &maeri_run, &maeri_model),
-        ("systolic 8x8", &sa_run, &sa_model),
-    ] {
-        table.row(vec![
-            label.to_owned(),
-            report::cycles(run.sram_reads),
-            fmt_f64(model.run_energy_nj(run), 1),
-            fmt_f64(model.macs_per_nj(run), 2),
-        ]);
-    }
-    report::section("Fig. 17 example priced by the 28nm energy model", &table);
-}
-
-fn network_energy() {
-    let mut table = Table::new(vec![
-        "network (conv layers)",
-        "MAERI energy (uJ)",
-        "systolic energy (uJ)",
-        "row-stat energy (uJ)",
-        "MAERI advantage",
-    ]);
-    let maeri = ConvMapper::new(MaeriConfig::paper_64());
-    let sa = SystolicArray::new(8, 8, 8);
-    let rs = RowStationary::new(8, 8, 8);
-    let maeri_model = EnergyModel::maeri_64();
-    let sa_model = EnergyModel::systolic_8x8();
-    for model in [zoo::alexnet(), zoo::vgg16()] {
-        let mut e_maeri = 0.0;
-        let mut e_sa = 0.0;
-        let mut e_rs = 0.0;
-        for conv in model.conv_layers() {
-            e_maeri += maeri_model.run_energy_nj(
-                &maeri.run(conv, VnPolicy::Auto).expect("mappable"),
-            );
-            e_sa += sa_model.run_energy_nj(&sa.run_conv(conv));
-            e_rs += maeri_model.run_energy_nj(&rs.run_conv(conv));
-        }
-        let best_baseline = e_sa.min(e_rs);
-        table.row(vec![
-            model.name().to_owned(),
-            fmt_f64(e_maeri / 1000.0, 1),
-            fmt_f64(e_sa / 1000.0, 1),
-            fmt_f64(e_rs / 1000.0, 1),
-            format!("{}x", fmt_f64(best_baseline / e_maeri, 2)),
-        ]);
-    }
-    report::section("whole-network convolution energy (64 compute units)", &table);
-}
-
-fn fusion_energy() {
-    let model = EnergyModel::maeri_64();
-    let mut table = Table::new(vec!["map", "DRAM words avoided", "energy saved (uJ)"]);
-    for row in experiments::figure14() {
-        let words = row.maeri.extra.get("dram_bytes_saved") / 2;
-        table.row(vec![
-            row.name.clone(),
-            report::cycles(words),
-            fmt_f64(model.dram_energy_nj(words) / 1000.0, 1),
-        ]);
-    }
-    report::section(
-        "cross-layer fusion: DRAM energy avoided by keeping intermediates on chip",
-        &table,
-    );
-}
+//! (thin wrapper over `maeri_bench::reports::energy`).
 
 fn main() {
-    report::header(
-        "Energy — pricing the traffic the figures count",
-        "Section 1/6.3 motivation: fewer SRAM reads is the energy story",
-    );
-    walkthrough_energy();
-    network_energy();
-    fusion_energy();
-    report::summary(&[
-        "MAERI's SRAM-read advantage (61-65% fewer on the worked example) converts to a \
-         proportional energy advantage because a 16-bit SRAM word costs ~4x a MAC"
-            .to_owned(),
-        "fusion savings are dominated by DRAM at ~320 pJ/word — two orders above SRAM — \
-         which is why the fused-layer idea matters even when cycle speedups are modest"
-            .to_owned(),
-    ]);
+    maeri_bench::reports::energy::run();
 }

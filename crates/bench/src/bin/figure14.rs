@@ -1,55 +1,7 @@
 //! Regenerates Figure 14: cross-layer (fused) dataflow speedups over
 //! the fixed-cluster baseline on AlexNet convolution chains.
-
-use maeri_bench::{experiments, report};
-use maeri_sim::table::{fmt_f64, fmt_pct, Table};
+//! (thin wrapper over `maeri_bench::reports::figure14`).
 
 fn main() {
-    report::header(
-        "Figure 14 — cross-layer fused dataflows (64 PEs)",
-        "MAERI 1.08-1.5x speedup over four rigid 4x4 clusters on fused AlexNet convs",
-    );
-    let rows = experiments::figure14();
-    let mut table = Table::new(vec![
-        "map",
-        "fused layers",
-        "MAERI cycles",
-        "MAERI util",
-        "cluster cycles",
-        "cluster util",
-        "speedup",
-    ]);
-    for row in &rows {
-        table.row(vec![
-            row.name.clone(),
-            row.layers
-                .iter()
-                .map(|l| l.trim_start_matches("alexnet_conv").to_owned())
-                .collect::<Vec<_>>()
-                .join("+"),
-            report::cycles(row.maeri.cycles.as_u64()),
-            fmt_pct(row.maeri.utilization()),
-            report::cycles(row.cluster.cycles.as_u64()),
-            fmt_pct(row.cluster.utilization()),
-            format!("{}x", fmt_f64(row.speedup(), 2)),
-        ]);
-    }
-    report::section("fused AlexNet convolution chains", &table);
-
-    let speedups: Vec<f64> = rows.iter().map(experiments::Fig14Row::speedup).collect();
-    let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = speedups.iter().copied().fold(f64::MIN, f64::max);
-    report::summary(&[
-        format!(
-            "paper: 1.08-1.5x speedup across MapA-E — measured {:.2}x-{:.2}x",
-            min, max
-        ),
-        "paper: fixed clusters strand PEs (e.g. 9 of 16 busy for 3x3 slices) while \
-         MAERI sizes every stage's virtual neurons freely — visible in the utilization \
-         columns"
-            .to_owned(),
-        "the ordering matches the paper exactly (MapC largest, MapA smallest); our \
-         magnitudes run ~1.5x above the paper's band — see EXPERIMENTS.md"
-            .to_owned(),
-    ]);
+    maeri_bench::reports::figure14::run();
 }

@@ -1,53 +1,7 @@
 //! Regenerates the abstract's headline claim: "8-459% better
 //! utilization across multiple dataflow mappings over baselines with
-//! rigid NoC fabrics".
-
-use maeri_bench::{experiments, report};
-use maeri_sim::table::{fmt_f64, fmt_pct, Table};
+//! (thin wrapper over `maeri_bench::reports::headline`).
 
 fn main() {
-    report::header(
-        "Headline — utilization improvement across all dataflow mappings",
-        "abstract: 8-459% better utilization vs rigid-NoC baselines",
-    );
-    let improvements = experiments::headline_improvements();
-    let mut table = Table::new(vec![
-        "experiment",
-        "MAERI util",
-        "baseline util",
-        "improvement",
-    ]);
-    for (label, maeri, baseline, pct) in &improvements {
-        table.row(vec![
-            label.clone(),
-            fmt_pct(*maeri),
-            fmt_pct(*baseline),
-            format!("{}%", fmt_f64(*pct, 0)),
-        ]);
-    }
-    report::section("per-experiment utilization comparison", &table);
-
-    let positive: Vec<f64> = improvements
-        .iter()
-        .map(|(_, _, _, pct)| *pct)
-        .filter(|&p| p > 0.0)
-        .collect();
-    let min_pos = positive.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = improvements
-        .iter()
-        .map(|(_, _, _, pct)| *pct)
-        .fold(f64::MIN, f64::max);
-    let losses = improvements.iter().filter(|(_, _, _, p)| *p < 0.0).count();
-    report::summary(&[
-        format!(
-            "paper: 8-459% — measured positive range {:.0}%-{:.0}% over {} comparisons",
-            min_pos,
-            max,
-            improvements.len()
-        ),
-        format!(
-            "{losses} comparison(s) favor a baseline (AlexNet C1, where our model charges \
-             MAERI's stride-4 input bandwidth explicitly; see EXPERIMENTS.md)"
-        ),
-    ]);
+    maeri_bench::reports::headline::run();
 }

@@ -54,8 +54,7 @@ impl Args {
             let value = iter
                 .next()
                 .ok_or_else(|| format!("missing value for {flag}"))?;
-            let parse_usize =
-                |v: &str| v.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
+            let parse_usize = |v: &str| v.parse::<usize>().map_err(|e| format!("{flag}: {e}"));
             match flag.as_str() {
                 "--switches" => args.switches = parse_usize(&value)?,
                 "--bandwidth" => args.bandwidth = parse_usize(&value)?,
@@ -138,7 +137,10 @@ fn main() {
         let mask = WeightMask::generate(&layer, args.sparsity, &mut SimRng::seed(42));
         let sparse = SparseConvMapper::new(cfg);
         let ct = sparse.auto_channel_tile(&layer, &mask);
-        println!("sparse: {:.0}% zeros, auto channel tile {ct}", args.sparsity * 100.0);
+        println!(
+            "sparse: {:.0}% zeros, auto channel tile {ct}",
+            args.sparsity * 100.0
+        );
         sparse.run(&layer, &mask, ct).expect("mappable")
     } else {
         mapper.run(&layer, VnPolicy::Auto).expect("mappable")

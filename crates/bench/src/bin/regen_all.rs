@@ -1,44 +1,34 @@
-//! Regenerates every paper artifact in one run: executes each sibling
-//! report binary in order and streams their output, so
+//! Regenerates every paper artifact in one run, in-process: replays the
+//! [`maeri_bench::reports::REPORTS`] registry (the same functions the
+//! sibling report binaries wrap) through the shared simulation runtime,
+//! so the sweeps parallelize across workers and repeated points (the
+//! headline report re-visits the figure sweeps) are served from cache.
+//!
 //! `cargo run --release -p maeri-bench --bin regen_all > reports.txt`
 //! rebuilds the complete paper-vs-measured record behind
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. Output is bit-identical to running the report
+//! binaries serially; a runtime-metrics summary is appended to stderr
+//! unless `MAERI_RUNTIME_QUIET` is set. Set `MAERI_RUNTIME_WORKERS` to
+//! control parallelism.
 
-use std::process::Command;
+use std::time::Instant;
 
-const REPORTS: &[&str] = &[
-    "table1", "table3", "figure11", "figure12", "figure13", "figure14", "figure15", "figure16",
-    "figure17", "headline", "ablations", "energy",
-];
+use maeri_bench::reports::REPORTS;
+use maeri_runtime::Runtime;
 
 fn main() {
-    let current = std::env::current_exe().expect("current executable path");
-    let dir = current.parent().expect("executable directory");
-    let mut failures = Vec::new();
-    for report in REPORTS {
-        let path = dir.join(report);
-        if !path.exists() {
-            eprintln!("skipping {report}: binary not built (run with --bins)");
-            failures.push(*report);
-            continue;
-        }
-        match Command::new(&path).status() {
-            Ok(status) if status.success() => {}
-            Ok(status) => {
-                eprintln!("{report} exited with {status}");
-                failures.push(*report);
-            }
-            Err(err) => {
-                eprintln!("failed to launch {report}: {err}");
-                failures.push(*report);
-            }
-        }
+    let start = Instant::now();
+    for (_, run) in REPORTS {
+        run();
         println!();
     }
-    if failures.is_empty() {
-        println!("regenerated all {} reports", REPORTS.len());
-    } else {
-        eprintln!("failed reports: {failures:?}");
-        std::process::exit(1);
+    println!("regenerated all {} reports", REPORTS.len());
+
+    if std::env::var_os("MAERI_RUNTIME_QUIET").is_none() {
+        // Stderr, so piping stdout to a file captures only the reports.
+        let snapshot = Runtime::global().metrics();
+        eprintln!("\n{}", snapshot.render().trim_end());
+        eprintln!("  workers: {}", Runtime::global().num_workers());
+        eprintln!("  regen_all wall: {:.2?}", start.elapsed());
     }
 }

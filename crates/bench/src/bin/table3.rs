@@ -1,43 +1,7 @@
 //! Regenerates Table 3: the five design points (Eyeriss, systolic
 //! comp/area match, MAERI comp/area match) from the 28 nm PPA model.
-
-use maeri_bench::{experiments, report};
-use maeri_sim::table::{fmt_f64, Table};
+//! (thin wrapper over `maeri_bench::reports::table3`).
 
 fn main() {
-    report::header(
-        "Table 3 — implementation design points",
-        "Eyeriss 6 mm²; systolic 2.62 mm² / 1192 PE; MAERI 3.84 mm² / 374 MS at 28 nm",
-    );
-    let mut table = Table::new(vec![
-        "design",
-        "PEs (MultSwitches)",
-        "local SRAM/PE",
-        "prefetch buffer",
-        "area (mm^2)",
-        "power (mW)",
-    ]);
-    let labels = [
-        "Eyeriss",
-        "SysArray (comp)",
-        "SysArray (area)",
-        "MAERI (comp)",
-        "MAERI (area)",
-    ];
-    for (label, point) in labels.iter().zip(experiments::table3()) {
-        table.row(vec![
-            (*label).to_owned(),
-            point.num_pes.to_string(),
-            format!("{}B", point.local_bytes),
-            format!("{}KB", point.pb_kb),
-            fmt_f64(point.area_um2() / 1e6, 2),
-            fmt_f64(point.power_mw(), 0),
-        ]);
-    }
-    report::section("design points (28 nm, 200 MHz)", &table);
-    report::summary(&[
-        "paper: 6.00 / 2.62 / 6.00 / 3.84 / 6.00 mm² — matched by calibration".to_owned(),
-        "paper: 1192 systolic PEs and 374 MAERI switches at 6 mm² — matched".to_owned(),
-        "paper: MAERI houses 2.23x and systolic 7.09x more compute than Eyeriss".to_owned(),
-    ]);
+    maeri_bench::reports::table3::run();
 }

@@ -2,20 +2,44 @@
 //!
 //! Everything here is deterministic (seeded RNG) so binaries and tests
 //! regenerate identical numbers.
+//!
+//! The dataflow sweeps (Figs. 12-14, 17) are expressed as
+//! [`SimJob`] batches and submitted to the shared
+//! [`Runtime`](maeri_runtime::Runtime), which parallelizes them across
+//! workers and caches identical points: the headline summary re-visits
+//! the figure sweeps and is answered from cache. Results come back in
+//! job order, so the numbers are bit-identical to the old serial loops.
 
-use maeri::analytic::{self, AnalyticResult};
+use maeri::analytic::AnalyticResult;
 use maeri::engine::RunStats;
-use maeri::{ConvMapper, CrossLayerMapper, MaeriConfig, SparseConvMapper, VnPolicy};
-use maeri_baselines::{FixedClusterArray, RowStationary, SystolicArray};
+use maeri::{MaeriConfig, VnPolicy};
 use maeri_dnn::layer::Layer;
-use maeri_dnn::{zoo, ConvLayer, WeightMask};
+use maeri_dnn::{zoo, ConvLayer};
 use maeri_noc::ppa::{compare_all, NocKind, NocPpa};
 use maeri_noc::reduction::{utilization_sweep, ReductionKind};
 use maeri_ppa::DesignPoint;
-use maeri_sim::SimRng;
+use maeri_runtime::{JobResult, Runtime, SimJob};
 
 /// Seed used by every randomized experiment.
 pub const EXPERIMENT_SEED: u64 = 42;
+
+/// Unwraps the next batched result as mapper/baseline run statistics.
+fn take_run(results: &mut impl Iterator<Item = JobResult>) -> RunStats {
+    results
+        .next()
+        .expect("batch is sized to the sweep")
+        .expect("experiment points are mappable")
+        .into_run_stats()
+}
+
+/// Unwraps the next batched result as an analytic walk-through.
+fn take_analytic(results: &mut impl Iterator<Item = JobResult>) -> AnalyticResult {
+    results
+        .next()
+        .expect("batch is sized to the sweep")
+        .expect("analytic walk-throughs cannot fail")
+        .into_analytic()
+}
 
 /// The paper's 64-PE evaluation configuration.
 #[must_use]
@@ -46,22 +70,26 @@ pub struct Fig12Row {
 #[must_use]
 pub fn figure12() -> Vec<Fig12Row> {
     let cfg = paper_config();
-    let mapper = ConvMapper::new(cfg);
-    let sa = SystolicArray::new(8, 8, 8);
-    let rs = RowStationary::new(8, 8, 8);
-    zoo::fig12_layers()
+    let layers = zoo::fig12_layers();
+    let jobs: Vec<SimJob> = layers
+        .iter()
+        .flat_map(|layer| {
+            [
+                SimJob::dense_conv(cfg, layer.clone(), VnPolicy::Auto),
+                SimJob::systolic_conv(8, 8, 8, layer.clone()),
+                SimJob::row_stationary_conv(8, 8, 8, layer.clone()),
+            ]
+        })
+        .collect();
+    let mut results = Runtime::global().run_phase("figure12", &jobs).into_iter();
+    layers
         .into_iter()
-        .map(|layer| {
-            let maeri = mapper
-                .run(&layer, VnPolicy::Auto)
-                .expect("zoo layers are mappable");
-            Fig12Row {
-                ideal_cycles: layer.macs() / 64,
-                maeri,
-                systolic: sa.run_conv(&layer),
-                row_stationary: rs.run_conv(&layer),
-                layer: layer.name.clone(),
-            }
+        .map(|layer| Fig12Row {
+            ideal_cycles: layer.macs() / 64,
+            maeri: take_run(&mut results),
+            systolic: take_run(&mut results),
+            row_stationary: take_run(&mut results),
+            layer: layer.name.clone(),
         })
         .collect()
 }
@@ -96,6 +124,13 @@ pub struct Fig13Row {
 /// Runs the Figure 13 sweep: VGG-16 conv8 with 0-50 % zero weights on
 /// MAERI (1x and 0.25x root bandwidth) and the fixed-cluster baseline,
 /// 27-weight neuron slices (3 channels x 3x3) as in the paper.
+/// The fixed-cluster baseline shape: 4 clusters of 16 PEs on an 8-word
+/// bus (kept in sync with `FixedClusterArray::paper_baseline`).
+const CLUSTER_BASELINE: (usize, usize, usize) = (4, 16, 8);
+
+/// Runs the Figure 13 sweep: VGG-16 conv8 with 0-50 % zero weights on
+/// MAERI (1x and 0.25x root bandwidth) and the fixed-cluster baseline,
+/// 27-weight neuron slices (3 channels x 3x3) as in the paper.
 #[must_use]
 pub fn figure13() -> Vec<Fig13Row> {
     let layer = zoo::vgg16_c8();
@@ -105,25 +140,34 @@ pub fn figure13() -> Vec<Fig13Row> {
         .collection_bandwidth(2)
         .build()
         .expect("valid 0.25x configuration");
-    let cluster = FixedClusterArray::paper_baseline();
-    [0u32, 10, 20, 30, 40, 50]
-        .into_iter()
-        .map(|pct| {
-            let mask = WeightMask::generate(
-                &layer,
-                f64::from(pct) / 100.0,
-                &mut SimRng::seed(EXPERIMENT_SEED),
-            );
-            Fig13Row {
-                sparsity_pct: pct,
-                maeri_1x: SparseConvMapper::new(full)
-                    .run(&layer, &mask, 3)
-                    .expect("mappable"),
-                maeri_quarter: SparseConvMapper::new(quarter)
-                    .run(&layer, &mask, 3)
-                    .expect("mappable"),
-                cluster: cluster.run_conv(&layer, &mask, 3).expect("mappable"),
-            }
+    let (clusters, cluster_size, bus) = CLUSTER_BASELINE;
+    let pcts = [0u32, 10, 20, 30, 40, 50];
+    let jobs: Vec<SimJob> = pcts
+        .iter()
+        .flat_map(|&pct| {
+            let zero_fraction = f64::from(pct) / 100.0;
+            [
+                SimJob::sparse_conv(full, layer.clone(), zero_fraction, 3, EXPERIMENT_SEED),
+                SimJob::sparse_conv(quarter, layer.clone(), zero_fraction, 3, EXPERIMENT_SEED),
+                SimJob::ClusterSparseConv {
+                    clusters,
+                    cluster_size,
+                    bus_bandwidth: bus,
+                    layer: layer.clone(),
+                    zero_fraction,
+                    channel_tile: 3,
+                    mask_seed: EXPERIMENT_SEED,
+                },
+            ]
+        })
+        .collect();
+    let mut results = Runtime::global().run_phase("figure13", &jobs).into_iter();
+    pcts.into_iter()
+        .map(|pct| Fig13Row {
+            sparsity_pct: pct,
+            maeri_1x: take_run(&mut results),
+            maeri_quarter: take_run(&mut results),
+            cluster: take_run(&mut results),
         })
         .collect()
 }
@@ -186,17 +230,30 @@ pub fn figure14() -> Vec<Fig14Row> {
             ],
         ),
     ];
-    let maeri = CrossLayerMapper::new(paper_config());
-    let cluster = FixedClusterArray::paper_baseline();
-    maps.into_iter()
-        .map(|(name, names)| {
+    let cfg = paper_config();
+    let (clusters, cluster_size, bus) = CLUSTER_BASELINE;
+    let jobs: Vec<SimJob> = maps
+        .iter()
+        .flat_map(|(_, names)| {
             let chain: Vec<ConvLayer> = names.iter().map(|n| alexnet_conv(n)).collect();
-            Fig14Row {
-                name: name.to_owned(),
-                layers: names.iter().map(|s| (*s).to_owned()).collect(),
-                maeri: maeri.run(&chain).expect("fused chain mappable"),
-                cluster: cluster.run_fused(&chain).expect("fused chain mappable"),
-            }
+            [
+                SimJob::fused_chain(cfg, chain.clone()),
+                SimJob::ClusterFusedChain {
+                    clusters,
+                    cluster_size,
+                    bus_bandwidth: bus,
+                    layers: chain,
+                },
+            ]
+        })
+        .collect();
+    let mut results = Runtime::global().run_phase("figure14", &jobs).into_iter();
+    maps.into_iter()
+        .map(|(name, names)| Fig14Row {
+            name: name.to_owned(),
+            layers: names.iter().map(|s| (*s).to_owned()).collect(),
+            maeri: take_run(&mut results),
+            cluster: take_run(&mut results),
         })
         .collect()
 }
@@ -264,18 +321,46 @@ pub struct Fig17Report {
 /// Runs the deep-dive comparison.
 #[must_use]
 pub fn figure17() -> Fig17Report {
-    let layer = analytic::example_layer();
+    let layer = maeri::analytic::example_layer();
     let vgg = zoo::vgg16();
+    let convs = vgg.conv_layers();
+    let mut jobs = vec![
+        SimJob::AnalyticSystolic {
+            layer: layer.clone(),
+            rows: 8,
+            cols: 8,
+        },
+        SimJob::AnalyticMaeri {
+            layer,
+            num_ms: 64,
+            dist_bw: 8,
+        },
+    ];
+    for conv in &convs {
+        jobs.push(SimJob::AnalyticSystolic {
+            layer: (*conv).clone(),
+            rows: 256,
+            cols: 256,
+        });
+        jobs.push(SimJob::AnalyticMaeri {
+            layer: (*conv).clone(),
+            num_ms: 256 * 256,
+            dist_bw: 256,
+        });
+    }
+    let mut results = Runtime::global().run_phase("figure17", &jobs).into_iter();
+    let systolic = take_analytic(&mut results);
+    let maeri = take_analytic(&mut results);
     let mut sa_reads = 0u64;
     let mut maeri_reads = 0u64;
-    for conv in vgg.conv_layers() {
-        sa_reads += analytic::systolic_example(conv, 256, 256).sram_reads;
-        maeri_reads += analytic::maeri_example(conv, 256 * 256, 256).sram_reads;
+    for _ in &convs {
+        sa_reads += take_analytic(&mut results).sram_reads;
+        maeri_reads += take_analytic(&mut results).sram_reads;
     }
     Fig17Report {
-        systolic: analytic::systolic_example(&layer, 8, 8),
-        maeri: analytic::maeri_example(&layer, 64, 8),
-        maeri_paper_stated: analytic::maeri_example_paper_stated(),
+        systolic,
+        maeri,
+        maeri_paper_stated: maeri::analytic::maeri_example_paper_stated(),
         vgg16_read_ratio_256: sa_reads as f64 / maeri_reads as f64,
     }
 }
@@ -359,6 +444,16 @@ pub fn headline_improvements() -> Vec<(String, f64, f64, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use maeri_baselines::FixedClusterArray;
+
+    #[test]
+    fn cluster_baseline_matches_paper_shape() {
+        let (clusters, cluster_size, bus) = CLUSTER_BASELINE;
+        assert_eq!(
+            FixedClusterArray::new(clusters, cluster_size, bus),
+            FixedClusterArray::paper_baseline()
+        );
+    }
 
     #[test]
     fn figure12_has_ten_layers_and_maeri_wins_on_3x3() {

@@ -25,3 +25,4 @@
 
 pub mod experiments;
 pub mod report;
+pub mod reports;

@@ -1,0 +1,62 @@
+//! Regenerates Figure 12: dense-CONV latency and utilization of the
+//! systolic array, row-stationary design and MAERI at 64 compute units.
+
+use crate::{experiments, report};
+use maeri_sim::table::{fmt_f64, fmt_pct, Table};
+
+/// Prints this report to stdout.
+pub fn run() {
+    report::header(
+        "Figure 12 — dense CONV latency and utilization (64 PEs)",
+        "MAERI ~72.4% average speedup, ~95% utilization on 3x3-dominated layers",
+    );
+    let rows = experiments::figure12();
+    let mut table = Table::new(vec![
+        "layer",
+        "MAERI lat (norm)",
+        "MAERI util",
+        "SysArr lat (norm)",
+        "SysArr util",
+        "RowStat lat (norm)",
+        "RowStat util",
+    ]);
+    for row in &rows {
+        let norm = |cycles: u64| fmt_f64(cycles as f64 / row.ideal_cycles.max(1) as f64, 2);
+        table.row(vec![
+            row.layer.clone(),
+            norm(row.maeri.cycles.as_u64()),
+            fmt_pct(row.maeri.utilization()),
+            norm(row.systolic.cycles.as_u64()),
+            fmt_pct(row.systolic.utilization()),
+            norm(row.row_stationary.cycles.as_u64()),
+            fmt_pct(row.row_stationary.utilization()),
+        ]);
+    }
+    report::section(
+        "latency normalized to an ideal 64-PE accelerator (MACs / 64)",
+        &table,
+    );
+
+    let mean = experiments::figure12_mean_speedup(&rows);
+    let vgg_utils: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.layer.contains("vgg") || r.layer.contains("conv3"))
+        .map(|r| r.maeri.utilization())
+        .collect();
+    let mean_vgg = maeri_sim::util::mean(&vgg_utils).unwrap_or(0.0);
+    report::summary(&[
+        format!(
+            "paper: 72.4% average speedup — measured mean speedup over the systolic array: \
+             {:.1}%",
+            (mean - 1.0) * 100.0
+        ),
+        format!(
+            "paper: ~95% average multiplier utilization — measured on 3x3 layers: {}",
+            fmt_pct(mean_vgg)
+        ),
+        "paper: AlexNet C1 (11x11, stride 4) and C2 (5x5) are adversarial for MAERI — \
+         reproduced (C1 is input-bandwidth bound in our model, making it the one layer \
+         where a baseline wins)"
+            .to_owned(),
+    ]);
+}

@@ -1,0 +1,51 @@
+//! Printable paper-artifact reports, one module per table/figure.
+//!
+//! Each module exposes `run()`, which prints the artifact's tables and
+//! paper-vs-measured summary to stdout. The `src/bin/*` binaries are
+//! thin wrappers over these functions, and `regen_all` replays the
+//! whole [`REPORTS`] registry in-process — the single source of truth
+//! for what "every paper artifact" means — through the shared
+//! simulation runtime.
+
+pub mod ablations;
+pub mod energy;
+pub mod figure11;
+pub mod figure12;
+pub mod figure13;
+pub mod figure14;
+pub mod figure15;
+pub mod figure16;
+pub mod figure17;
+pub mod headline;
+pub mod table1;
+pub mod table3;
+
+/// Every report in regeneration order: `(name, printer)`.
+pub const REPORTS: &[(&str, fn())] = &[
+    ("table1", table1::run),
+    ("table3", table3::run),
+    ("figure11", figure11::run),
+    ("figure12", figure12::run),
+    ("figure13", figure13::run),
+    ("figure14", figure14::run),
+    ("figure15", figure15::run),
+    ("figure16", figure16::run),
+    ("figure17", figure17::run),
+    ("headline", headline::run),
+    ("ablations", ablations::run),
+    ("energy", energy::run),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::REPORTS;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        assert_eq!(REPORTS.len(), 12);
+        let mut names: Vec<&str> = REPORTS.iter().map(|(n, _)| *n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REPORTS.len(), "duplicate report name");
+    }
+}

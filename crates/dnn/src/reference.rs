@@ -155,7 +155,8 @@ impl LstmParams {
     pub fn random(layer: &LstmLayer, rng: &mut maeri_sim::SimRng) -> Self {
         let cols = layer.input_dim + layer.hidden_dim;
         let shape = [layer.hidden_dim, cols];
-        let bias = |rng: &mut maeri_sim::SimRng| (0..layer.hidden_dim).map(|_| rng.next_f32()).collect();
+        let bias =
+            |rng: &mut maeri_sim::SimRng| (0..layer.hidden_dim).map(|_| rng.next_f32()).collect();
         LstmParams {
             w_forget: Tensor::random(&shape, rng),
             w_input: Tensor::random(&shape, rng),
@@ -310,7 +311,10 @@ pub fn gru_step(layer: &LstmLayer, params: &GruParams, x: &[f32], h_prev: &[f32]
     assert_eq!(h_prev.len(), layer.hidden_dim, "hidden length mismatch");
     let concat: Vec<f32> = x.iter().chain(h_prev.iter()).copied().collect();
     let dot = |w: &Tensor, v: &[f32], n: usize| -> f32 {
-        v.iter().enumerate().map(|(i, &val)| w.get(&[n, i]) * val).sum()
+        v.iter()
+            .enumerate()
+            .map(|(i, &val)| w.get(&[n, i]) * val)
+            .sum()
     };
     let z: Vec<f32> = (0..layer.hidden_dim)
         .map(|n| sigmoid(dot(&params.w_update, &concat, n) + params.b_update[n]))

@@ -212,10 +212,7 @@ mod tests {
         let zeros = weights.as_slice().iter().filter(|&&v| v == 0.0).count();
         assert_eq!(zeros, 4 * 14);
         // Kept weights untouched.
-        assert!(weights
-            .as_slice()
-            .iter()
-            .all(|&v| v == 0.0 || v == 1.0));
+        assert!(weights.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
     }
 
     #[test]

@@ -86,9 +86,7 @@ impl Model {
             .iter()
             .map(|c| (c.kernel_h, c.kernel_w))
             .collect();
-        set.into_iter()
-            .map(|(r, s)| format!("{r}x{s}"))
-            .collect()
+        set.into_iter().map(|(r, s)| format!("{r}x{s}")).collect()
     }
 
     /// Total MACs (comparisons for pooling) over all layers.
@@ -215,25 +213,79 @@ pub fn googlenet() -> Model {
     layers.push(conv("googlenet_conv2r", 64, 56, 64, 1, 1, 0));
     layers.push(conv("googlenet_conv2", 64, 56, 192, 3, 1, 1));
     layers.push(PoolLayer::new("googlenet_pool2", 192, 56, 56, 3, 2).into());
-    inception(&mut layers, "googlenet_3a", 192, 28, (64, 96, 128, 16, 32, 32));
+    inception(
+        &mut layers,
+        "googlenet_3a",
+        192,
+        28,
+        (64, 96, 128, 16, 32, 32),
+    );
     layers.push(PoolLayer::new("googlenet_3a_pool", 192, 28, 28, 3, 1).into());
-    inception(&mut layers, "googlenet_3b", 256, 28, (128, 128, 192, 32, 96, 64));
+    inception(
+        &mut layers,
+        "googlenet_3b",
+        256,
+        28,
+        (128, 128, 192, 32, 96, 64),
+    );
     layers.push(PoolLayer::new("googlenet_3b_pool", 256, 28, 28, 3, 1).into());
     layers.push(PoolLayer::new("googlenet_pool3", 480, 28, 28, 3, 2).into());
-    inception(&mut layers, "googlenet_4a", 480, 14, (192, 96, 208, 16, 48, 64));
+    inception(
+        &mut layers,
+        "googlenet_4a",
+        480,
+        14,
+        (192, 96, 208, 16, 48, 64),
+    );
     layers.push(PoolLayer::new("googlenet_4a_pool", 480, 14, 14, 3, 1).into());
-    inception(&mut layers, "googlenet_4b", 512, 14, (160, 112, 224, 24, 64, 64));
+    inception(
+        &mut layers,
+        "googlenet_4b",
+        512,
+        14,
+        (160, 112, 224, 24, 64, 64),
+    );
     layers.push(PoolLayer::new("googlenet_4b_pool", 512, 14, 14, 3, 1).into());
-    inception(&mut layers, "googlenet_4c", 512, 14, (128, 128, 256, 24, 64, 64));
+    inception(
+        &mut layers,
+        "googlenet_4c",
+        512,
+        14,
+        (128, 128, 256, 24, 64, 64),
+    );
     layers.push(PoolLayer::new("googlenet_4c_pool", 512, 14, 14, 3, 1).into());
-    inception(&mut layers, "googlenet_4d", 512, 14, (112, 144, 288, 32, 64, 64));
+    inception(
+        &mut layers,
+        "googlenet_4d",
+        512,
+        14,
+        (112, 144, 288, 32, 64, 64),
+    );
     layers.push(PoolLayer::new("googlenet_4d_pool", 512, 14, 14, 3, 1).into());
-    inception(&mut layers, "googlenet_4e", 528, 14, (256, 160, 320, 32, 128, 128));
+    inception(
+        &mut layers,
+        "googlenet_4e",
+        528,
+        14,
+        (256, 160, 320, 32, 128, 128),
+    );
     layers.push(PoolLayer::new("googlenet_4e_pool", 528, 14, 14, 3, 1).into());
     layers.push(PoolLayer::new("googlenet_pool4", 832, 14, 14, 3, 2).into());
-    inception(&mut layers, "googlenet_5a", 832, 7, (256, 160, 320, 32, 128, 128));
+    inception(
+        &mut layers,
+        "googlenet_5a",
+        832,
+        7,
+        (256, 160, 320, 32, 128, 128),
+    );
     layers.push(PoolLayer::new("googlenet_5a_pool", 832, 7, 7, 3, 1).into());
-    inception(&mut layers, "googlenet_5b", 832, 7, (384, 192, 384, 48, 128, 128));
+    inception(
+        &mut layers,
+        "googlenet_5b",
+        832,
+        7,
+        (384, 192, 384, 48, 128, 128),
+    );
     layers.push(PoolLayer::new("googlenet_5b_pool", 832, 7, 7, 3, 1).into());
     layers.push(PoolLayer::new("googlenet_avgpool", 1024, 7, 7, 7, 7).into());
     // Auxiliary classifiers (4a and 4d taps): avg pool + 1x1 conv + 2 FC each.
@@ -286,12 +338,8 @@ pub fn resnet50() -> Model {
 pub fn deepspeech2() -> Model {
     let mut layers: Vec<Layer> = Vec::new();
     // 161 frequency bins x 100 time steps, 32 filters.
-    layers.push(
-        ConvLayer::new("ds2_conv1", 1, 161, 100, 32, 41, 11, 2, 20).into(),
-    );
-    layers.push(
-        ConvLayer::new("ds2_conv2", 32, 81, 50, 32, 21, 11, 2, 10).into(),
-    );
+    layers.push(ConvLayer::new("ds2_conv1", 1, 161, 100, 32, 41, 11, 2, 20).into());
+    layers.push(ConvLayer::new("ds2_conv2", 32, 81, 50, 32, 21, 11, 2, 10).into());
     for i in 0..7 {
         let input_dim = if i == 0 { 32 * 41 } else { 1280 };
         layers.push(LstmLayer::new(&format!("ds2_rnn{}", i + 1), input_dim, 1280).into());
@@ -332,7 +380,11 @@ pub fn random_model(rng: &mut maeri_sim::SimRng, stages: usize) -> Model {
     let mut hw = [16usize, 28, 32, 56][rng.next_below(4)];
     for stage in 0..stages {
         let kernel = [1usize, 3, 3, 5, 7, 11][rng.next_below(6)].min(hw);
-        let stride = if kernel >= 7 && rng.next_bool(0.5) { 2 } else { 1 };
+        let stride = if kernel >= 7 && rng.next_bool(0.5) {
+            2
+        } else {
+            1
+        };
         let pad = kernel / 2;
         let out_channels = [8usize, 16, 32, 64, 128][rng.next_below(5)];
         layers.push(
@@ -353,9 +405,8 @@ pub fn random_model(rng: &mut maeri_sim::SimRng, stages: usize) -> Model {
         hw = (hw + 2 * pad - kernel) / stride + 1;
         // Occasionally pool the map down.
         if hw >= 4 && rng.next_bool(0.4) {
-            layers.push(
-                PoolLayer::new(&format!("rand_pool{stage}"), channels, hw, hw, 2, 2).into(),
-            );
+            layers
+                .push(PoolLayer::new(&format!("rand_pool{stage}"), channels, hw, hw, 2, 2).into());
             hw = (hw - 2) / 2 + 1;
         }
         if hw < 2 {

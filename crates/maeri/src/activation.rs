@@ -125,8 +125,7 @@ impl ActivationLut {
         let samples = 10_000;
         (0..=samples)
             .map(|i| {
-                let x = -self.half_range
-                    + 2.0 * self.half_range * i as f32 / samples as f32;
+                let x = -self.half_range + 2.0 * self.half_range * i as f32 / samples as f32;
                 (self.apply(x) - self.exact(x)).abs()
             })
             .fold(0.0, f32::max)
@@ -161,7 +160,10 @@ mod tests {
         let lut = ActivationLut::default_for(ActivationKind::Tanh);
         assert!(lut.max_error() < 1e-3, "error {}", lut.max_error());
         for x in [-3.0f32, -1.0, -0.25, 0.25, 1.0, 3.0] {
-            assert!((lut.apply(x) + lut.apply(-x)).abs() < 2e-3, "asymmetric at {x}");
+            assert!(
+                (lut.apply(x) + lut.apply(-x)).abs() < 2e-3,
+                "asymmetric at {x}"
+            );
         }
     }
 

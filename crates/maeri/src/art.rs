@@ -575,11 +575,7 @@ mod tests {
     #[test]
     fn paper_figure6_three_vns_of_five() {
         // Figure 6: three neurons of five multipliers each on 16 leaves.
-        let vns = [
-            VnRange::new(0, 5),
-            VnRange::new(5, 5),
-            VnRange::new(10, 5),
-        ];
+        let vns = [VnRange::new(0, 5), VnRange::new(5, 5), VnRange::new(10, 5)];
         let cfg = ArtConfig::build(chubby(16, 8), &vns).unwrap();
         let values = leaf_values(16);
         let sums = cfg.reduce(&values);
@@ -680,11 +676,7 @@ mod tests {
     #[test]
     fn adder_modes_cover_paper_set() {
         // The Figure 6 mapping exercises adds, 3:1 adds and forwards.
-        let vns = [
-            VnRange::new(0, 5),
-            VnRange::new(5, 5),
-            VnRange::new(10, 5),
-        ];
+        let vns = [VnRange::new(0, 5), VnRange::new(5, 5), VnRange::new(10, 5)];
         let cfg = ArtConfig::build(chubby(16, 8), &vns).unwrap();
         let modes: std::collections::BTreeSet<String> = (0..cfg.tree().num_internal())
             .map(|n| format!("{:?}", cfg.adder_mode(n)))

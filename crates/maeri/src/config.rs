@@ -217,7 +217,10 @@ mod tests {
             .collection_bandwidth(128)
             .build()
             .is_err());
-        assert!(MaeriConfig::builder(64).ms_local_buffers(0).build().is_err());
+        assert!(MaeriConfig::builder(64)
+            .ms_local_buffers(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -144,11 +144,7 @@ impl Controller {
         self.run_model_with(model, Some((zero_fraction, seed)))
     }
 
-    fn run_model_with(
-        &self,
-        model: &Model,
-        sparsity: Option<(f64, u64)>,
-    ) -> Result<NetworkRun> {
+    fn run_model_with(&self, model: &Model, sparsity: Option<(f64, u64)>) -> Result<NetworkRun> {
         let mut layers = Vec::with_capacity(model.layers().len());
         let mut schedule = Vec::with_capacity(model.layers().len());
         let mut dram_words = 0u64;
@@ -227,12 +223,7 @@ impl Controller {
                         num_vns: (self.cfg.num_mult_switches() / vn).max(1),
                         iterations: run.extra.get("gate_iterations"),
                     };
-                    (
-                        run,
-                        command,
-                        lstm.input_dim as u64,
-                        lstm.hidden_dim as u64,
-                    )
+                    (run, command, lstm.input_dim as u64, lstm.hidden_dim as u64)
                 }
                 other => {
                     return Err(maeri_sim::SimError::unmappable(format!(

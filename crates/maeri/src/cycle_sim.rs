@@ -96,7 +96,13 @@ pub fn simulate_conv_iteration(
 
     // Per-lane distribution demand per step: unique words = shared
     // multicast words (counted once across all lanes) + private words.
-    let shared = shared_inputs.min(lanes.iter().map(|l| l.fresh_inputs_per_step).min().unwrap_or(0));
+    let shared = shared_inputs.min(
+        lanes
+            .iter()
+            .map(|l| l.fresh_inputs_per_step)
+            .min()
+            .unwrap_or(0),
+    );
     let private_per_lane: Vec<u64> = lanes
         .iter()
         .map(|l| (l.fresh_inputs_per_step - shared) as u64)
@@ -281,10 +287,8 @@ pub fn simulate_conv_layer(
     // Per-step fresh inputs, mirroring the cost model.
     let stride = layer.stride as u64;
     let rows_piece = maeri_sim::util::ceil_div(layer.kernel_h as u64, plan.subfold as u64);
-    let row_groups =
-        maeri_sim::util::ceil_div(plan.num_vns as u64, layer.out_channels as u64);
-    let rows_touched =
-        row_groups * stride + rows_piece.saturating_sub(stride.min(rows_piece));
+    let row_groups = maeri_sim::util::ceil_div(plan.num_vns as u64, layer.out_channels as u64);
+    let rows_touched = row_groups * stride + rows_piece.saturating_sub(stride.min(rows_piece));
     let cols_new = stride.min(layer.kernel_w as u64);
     let fresh = (rows_touched * cols_new * plan.channel_tile as u64) as usize;
     let lanes = vec![
@@ -298,9 +302,7 @@ pub fn simulate_conv_layer(
     let steps = layer.out_w() as u64;
     let one_iteration = simulate_conv_iteration(cfg, &lanes, steps, fresh)?;
     let dist = Distributor::new(cfg.distribution_chubby());
-    let weight_cycles = dist
-        .multicast_cycles(layer.weight_count() as u64)
-        .as_u64();
+    let weight_cycles = dist.multicast_cycles(layer.weight_count() as u64).as_u64();
     let mut total = one_iteration.clone();
     // Back-to-back iterations overlap in the ART pipeline: only the
     // first pays the fill latency the standalone trace includes.
@@ -309,16 +311,12 @@ pub fn simulate_conv_layer(
         .as_u64()
         .saturating_sub(cfg.art_depth() as u64);
     total.cycles = Cycle::new(
-        weight_cycles
-            + one_iteration.cycles.as_u64()
-            + steady * plan.iterations.saturating_sub(1),
+        weight_cycles + one_iteration.cycles.as_u64() + steady * plan.iterations.saturating_sub(1),
     );
     total.waves_completed = one_iteration.waves_completed * plan.iterations;
     total.busy_cycles = one_iteration.busy_cycles * plan.iterations;
-    total.distribution_stall_cycles =
-        one_iteration.distribution_stall_cycles * plan.iterations;
-    total.collection_stall_cycles =
-        one_iteration.collection_stall_cycles * plan.iterations;
+    total.distribution_stall_cycles = one_iteration.distribution_stall_cycles * plan.iterations;
+    total.collection_stall_cycles = one_iteration.collection_stall_cycles * plan.iterations;
     total.extra.add("iterations", plan.iterations);
     total.extra.add("weight_cycles", weight_cycles);
     Ok(total)
@@ -330,6 +328,22 @@ mod tests {
 
     fn cfg() -> MaeriConfig {
         MaeriConfig::paper_64()
+    }
+
+    #[test]
+    fn zero_cycle_trace_has_finite_throughput() {
+        // A trace that never advanced must report 0 outputs/cycle, not
+        // NaN — downstream reports feed this straight into tables.
+        let trace = TraceStats {
+            cycles: Cycle::ZERO,
+            waves_completed: 0,
+            busy_cycles: 0,
+            distribution_stall_cycles: 0,
+            collection_stall_cycles: 0,
+            extra: Stats::new(),
+        };
+        assert_eq!(trace.throughput(), 0.0);
+        assert!(trace.throughput().is_finite());
     }
 
     #[test]
@@ -468,8 +482,14 @@ mod tests {
     fn fifo_depth_bounds_lookahead() {
         // With a 1-deep FIFO the distribution cannot run ahead, so a
         // bursty demand pattern serializes; deeper FIFOs overlap.
-        let shallow = MaeriConfig::builder(64).ms_local_buffers(1).build().unwrap();
-        let deep = MaeriConfig::builder(64).ms_local_buffers(8).build().unwrap();
+        let shallow = MaeriConfig::builder(64)
+            .ms_local_buffers(1)
+            .build()
+            .unwrap();
+        let deep = MaeriConfig::builder(64)
+            .ms_local_buffers(8)
+            .build()
+            .unwrap();
         let lanes = vec![
             LaneSpec {
                 vn_size: 16,

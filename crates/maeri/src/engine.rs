@@ -82,7 +82,10 @@ impl RunStats {
     /// Panics if this run took zero cycles.
     #[must_use]
     pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
-        assert!(!self.cycles.is_zero(), "cannot compute speedup of a 0-cycle run");
+        assert!(
+            !self.cycles.is_zero(),
+            "cannot compute speedup of a 0-cycle run"
+        );
         baseline.cycles.as_f64() / self.cycles.as_f64()
     }
 

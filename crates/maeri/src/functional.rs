@@ -230,10 +230,7 @@ pub fn run_fc(
         for seg in 0..segments {
             let lo = seg * seg_len;
             let hi = ((seg + 1) * seg_len).min(layer.inputs);
-            let art = ArtConfig::build(
-                cfg.collection_chubby(),
-                &[VnRange::new(0, hi - lo)],
-            )?;
+            let art = ArtConfig::build(cfg.collection_chubby(), &[VnRange::new(0, hi - lo)])?;
             let mut leaf_values = vec![0.0f32; n];
             for (leaf, i) in (lo..hi).enumerate() {
                 let mut ms = MultSwitch::new(1);

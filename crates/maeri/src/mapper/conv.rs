@@ -177,8 +177,7 @@ impl ConvMapper {
         let stride = layer.stride as u64;
         let row_groups = ceil_div(num_vns, layer.out_channels as u64);
         let rows_piece = ceil_div(layer.kernel_h as u64, subfold);
-        let rows_touched =
-            row_groups * stride + rows_piece.saturating_sub(stride.min(rows_piece));
+        let rows_touched = row_groups * stride + rows_piece.saturating_sub(stride.min(rows_piece));
         let cols_new = stride.min(layer.kernel_w as u64);
         let step_inputs = rows_touched * cols_new * ct as u64;
         let bw = self.cfg.dist_bandwidth() as u64;
@@ -255,10 +254,9 @@ impl ConvMapper {
             let psum_words = layer.output_count() as u64 * passes;
             run.sram_writes += psum_words;
             run.sram_reads += psum_words;
-            let extra_cycles = maeri_sim::util::ceil_div(
-                psum_words,
-                self.cfg.collect_bandwidth() as u64,
-            ) + maeri_sim::util::ceil_div(psum_words, self.cfg.dist_bandwidth() as u64);
+            let extra_cycles =
+                maeri_sim::util::ceil_div(psum_words, self.cfg.collect_bandwidth() as u64)
+                    + maeri_sim::util::ceil_div(psum_words, self.cfg.dist_bandwidth() as u64);
             run.cycles += maeri_sim::Cycle::new(extra_cycles);
             run.extra.add("psum_roundtrip_words", 2 * psum_words);
         }
@@ -273,21 +271,14 @@ impl ConvMapper {
     /// # Errors
     ///
     /// Propagates planning errors and rejects a zero-sized batch.
-    pub fn run_batch(
-        &self,
-        layer: &ConvLayer,
-        policy: VnPolicy,
-        batch: u64,
-    ) -> Result<RunStats> {
+    pub fn run_batch(&self, layer: &ConvLayer, policy: VnPolicy, batch: u64) -> Result<RunStats> {
         if batch == 0 {
             return Err(SimError::invalid_config("batch must be at least one image"));
         }
         let plan = self.plan(layer, policy)?;
         let one = self.cost(layer, &plan);
         let dist = Distributor::new(self.cfg.distribution_chubby());
-        let weight_cycles = dist
-            .multicast_cycles(layer.weight_count() as u64)
-            .as_u64();
+        let weight_cycles = dist.multicast_cycles(layer.weight_count() as u64).as_u64();
         let per_image_stream = one.cycles.as_u64().saturating_sub(weight_cycles);
         let mut run = RunStats::new(
             &format!("{}xB{}", layer.name, batch),
@@ -295,8 +286,8 @@ impl ConvMapper {
             maeri_sim::Cycle::new(weight_cycles + per_image_stream * batch),
             one.macs * batch,
         );
-        run.sram_reads = layer.weight_count() as u64
-            + (one.sram_reads - layer.weight_count() as u64) * batch;
+        run.sram_reads =
+            layer.weight_count() as u64 + (one.sram_reads - layer.weight_count() as u64) * batch;
         run.sram_writes = one.sram_writes * batch;
         run.extra.merge(&one.extra);
         run.extra.add("batch", batch);
@@ -318,8 +309,9 @@ impl ConvMapper {
         // per-step input slice shrinks accordingly.
         let rows_piece = ceil_div(r, plan.subfold as u64);
         let row_groups = ceil_div(plan.num_vns as u64, layer.out_channels as u64);
-        let rows_touched = (row_groups * stride + rows_piece.saturating_sub(stride.min(rows_piece)))
-            .min(layer.in_h as u64 + 2 * layer.pad as u64);
+        let rows_touched = (row_groups * stride
+            + rows_piece.saturating_sub(stride.min(rows_piece)))
+        .min(layer.in_h as u64 + 2 * layer.pad as u64);
         let cols_new = stride.min(s);
 
         // Per-step unique input values (new window columns).
@@ -337,9 +329,7 @@ impl ConvMapper {
         // next row's window fill overlaps the current row's tail
         // (double-buffered MS FIFOs), so configuration, ART fill and
         // the first-window fill are one-time startup costs.
-        let startup = 1
-            + self.cfg.art_depth() as u64
-            + dist.multicast_cycles(fill_inputs).as_u64();
+        let startup = 1 + self.cfg.art_depth() as u64 + dist.multicast_cycles(fill_inputs).as_u64();
         let per_iter = q as f64 * steady;
 
         // Weight distribution: every weight enters once (stationary).
@@ -433,10 +423,7 @@ mod tests {
         let m = mapper();
         let u_c1 = m.run(&c1, VnPolicy::Auto).unwrap().utilization();
         let u_vgg = m.run(&vgg, VnPolicy::Auto).unwrap().utilization();
-        assert!(
-            u_vgg > u_c1,
-            "vgg {u_vgg} should beat alexnet c1 {u_c1}"
-        );
+        assert!(u_vgg > u_c1, "vgg {u_vgg} should beat alexnet c1 {u_c1}");
         assert!(u_vgg > 0.8, "vgg utilization {u_vgg}");
     }
 
@@ -454,22 +441,16 @@ mod tests {
     fn invalid_channel_tile_rejected() {
         let m = mapper();
         assert!(m.plan(&vgg_like(), VnPolicy::ChannelsPerVn(0)).is_err());
-        assert!(m
-            .plan(&vgg_like(), VnPolicy::ChannelsPerVn(1000))
-            .is_err());
+        assert!(m.plan(&vgg_like(), VnPolicy::ChannelsPerVn(1000)).is_err());
     }
 
     #[test]
     fn iterations_cover_all_work() {
         let layer = vgg_like();
         let plan = mapper().plan(&layer, VnPolicy::ChannelsPerVn(3)).unwrap();
-        let row_units = layer.out_channels as u64
-            * layer.out_h() as u64
-            * plan.fold_factor() as u64;
-        assert_eq!(
-            plan.iterations,
-            ceil_div(row_units, plan.num_vns as u64)
-        );
+        let row_units =
+            layer.out_channels as u64 * layer.out_h() as u64 * plan.fold_factor() as u64;
+        assert_eq!(plan.iterations, ceil_div(row_units, plan.num_vns as u64));
     }
 
     #[test]

@@ -48,9 +48,8 @@ pub fn pipeline_stage_cycles(
     let units = layer.out_channels as u64 * segments * layer.out_h() as u64 * pieces as u64;
     let iterations = ceil_div(units, lanes as u64);
     let rows_piece = ceil_div(layer.kernel_h as u64, pieces as u64);
-    let step_inputs = rows_piece
-        * (layer.stride as u64).min(layer.kernel_w as u64)
-        * channel_tile as u64;
+    let step_inputs =
+        rows_piece * (layer.stride as u64).min(layer.kernel_w as u64) * channel_tile as u64;
     let steady = (step_inputs as f64 / bandwidth).max(1.0);
     Cycle::new((iterations as f64 * layer.out_w() as f64 * steady).ceil() as u64)
 }
@@ -157,11 +156,7 @@ impl CrossLayerMapper {
         // All stages run concurrently. Total time is bounded below by
         // the slowest stage's compute and by the shared distribution
         // tree moving every stage's inputs through one chubby root.
-        let compute_bound = stages
-            .iter()
-            .map(|s| s.cycles)
-            .max()
-            .unwrap_or(Cycle::ZERO);
+        let compute_bound = stages.iter().map(|s| s.cycles).max().unwrap_or(Cycle::ZERO);
         let total_words: u64 = stages.iter().map(|s| s.input_words).sum();
         let dist = Distributor::new(self.cfg.distribution_chubby());
         let bandwidth_bound = Cycle::new(maeri_sim::util::ceil_div(
@@ -190,8 +185,8 @@ impl CrossLayerMapper {
             .map(|l| l.output_count() as u64)
             .sum();
         run.extra.add("dram_bytes_saved", inter_values * 2); // 16-bit words
-        // SRAM traffic: first-layer inputs + all weights + last outputs
-        // + on-chip intermediate hand-offs (write + read).
+                                                             // SRAM traffic: first-layer inputs + all weights + last outputs
+                                                             // + on-chip intermediate hand-offs (write + read).
         run.sram_reads = layers[0].input_count() as u64
             + layers.iter().map(|l| l.weight_count() as u64).sum::<u64>()
             + inter_values;
@@ -232,11 +227,7 @@ impl CrossLayerMapper {
         let shares = self.partition_unchained(&flat)?;
         let stages = self.stage_costs(&flat, &shares);
         let n = self.cfg.num_mult_switches();
-        let compute_bound = stages
-            .iter()
-            .map(|s| s.cycles)
-            .max()
-            .unwrap_or(Cycle::ZERO);
+        let compute_bound = stages.iter().map(|s| s.cycles).max().unwrap_or(Cycle::ZERO);
         // Branch heads share the module input: the multicast tree
         // delivers it once, so charge the head input words once instead
         // of per branch.
@@ -325,8 +316,7 @@ impl CrossLayerMapper {
                     * layer.out_h() as u64
                     * pieces as u64;
                 let rows_piece = maeri_sim::util::ceil_div(layer.kernel_h as u64, pieces as u64);
-                let step_inputs =
-                    rows_piece * (layer.stride as u64).min(layer.kernel_w as u64);
+                let step_inputs = rows_piece * (layer.stride as u64).min(layer.kernel_w as u64);
                 // Lanes co-scheduled on the same (channel, row) share
                 // each fetched slice via the multicast tree.
                 let input_words = units * layer.out_w() as u64 * step_inputs
@@ -411,7 +401,17 @@ mod tests {
         let mut layers = Vec::new();
         let mut in_c = 3;
         for i in 0..8 {
-            layers.push(ConvLayer::new(&format!("l{i}"), in_c, 32, 32, 8, 5, 5, 1, 2));
+            layers.push(ConvLayer::new(
+                &format!("l{i}"),
+                in_c,
+                32,
+                32,
+                8,
+                5,
+                5,
+                1,
+                2,
+            ));
             in_c = 8;
         }
         assert!(mapper().run(&layers).is_err());
@@ -438,11 +438,7 @@ mod tests {
         // The intro's motivating case: 1x1, 3x3 and 5x5 filters live on
         // the fabric simultaneously.
         let run = mapper().run_parallel(&inception_3a()).unwrap();
-        let expected: u64 = inception_3a()
-            .iter()
-            .flatten()
-            .map(ConvLayer::macs)
-            .sum();
+        let expected: u64 = inception_3a().iter().flatten().map(ConvLayer::macs).sum();
         assert_eq!(run.macs, expected);
         assert!(run.cycles.as_u64() > 0);
         assert!(run.utilization() > 0.1 && run.utilization() <= 1.0);

@@ -67,7 +67,8 @@ impl FcMapper {
         let input_cycles: u64 = (0..fold)
             .map(|_| dist.multicast_cycles(vn_size as u64).as_u64())
             .sum();
-        let cycles = 1 + self.cfg.art_depth() as u64
+        let cycles = 1
+            + self.cfg.art_depth() as u64
             + input_cycles
             + (iterations as f64 * per_iter).ceil() as u64;
 

@@ -83,8 +83,8 @@ impl LstmMapper {
         // Per-step startup (config + ART fill) is paid once; the
         // steady-state portion repeats every step.
         let startup = 2 * (1 + self.cfg.art_depth() as u64);
-        let steady_per_step = (gates.cycles.as_u64() + state.cycles.as_u64())
-            .saturating_sub(startup);
+        let steady_per_step =
+            (gates.cycles.as_u64() + state.cycles.as_u64()).saturating_sub(startup);
         let mut run = RunStats::new(
             &format!("{}x{}", layer.name, time_steps),
             self.cfg.num_mult_switches(),
@@ -128,7 +128,8 @@ impl LstmMapper {
         let input_cycles: u64 = (0..input_rounds)
             .map(|_| dist.multicast_cycles(vn_size as u64).as_u64())
             .sum();
-        let cycles = 1 + self.cfg.art_depth() as u64
+        let cycles = 1
+            + self.cfg.art_depth() as u64
             + input_cycles
             + (iterations as f64 * per_iter).ceil() as u64;
 
@@ -168,14 +169,17 @@ impl LstmMapper {
             .as_u64() as f64)
             .max(1.0)
             .max(slowdown);
-        let state_cycles = 1 + self.cfg.art_depth() as u64
-            + (state_iters as f64 * per_iter).ceil() as u64;
+        let state_cycles =
+            1 + self.cfg.art_depth() as u64 + (state_iters as f64 * per_iter).ceil() as u64;
 
         // Output: one multiply per neuron (o * tanh(s)); pure
         // distribution/collection bound.
         let out_iters = ceil_div(h, n as u64);
         let out_per_iter = (dist.multicast_cycles(2 * n.min(h as usize) as u64).as_u64())
-            .max(ceil_div(n.min(h as usize) as u64, self.cfg.collect_bandwidth() as u64))
+            .max(ceil_div(
+                n.min(h as usize) as u64,
+                self.cfg.collect_bandwidth() as u64,
+            ))
             .max(1);
         let out_cycles = 1 + out_iters * out_per_iter;
 

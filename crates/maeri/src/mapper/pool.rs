@@ -70,15 +70,9 @@ impl PoolMapper {
             .as_u64() as f64)
             .max(1.0)
             .max(slowdown);
-        let cycles =
-            1 + self.cfg.art_depth() as u64 + (iterations as f64 * per_iter).ceil() as u64;
+        let cycles = 1 + self.cfg.art_depth() as u64 + (iterations as f64 * per_iter).ceil() as u64;
 
-        let mut run = RunStats::new(
-            &layer.name,
-            n,
-            Cycle::new(cycles),
-            layer.comparisons(),
-        );
+        let mut run = RunStats::new(&layer.name, n, Cycle::new(cycles), layer.comparisons());
         run.sram_reads = units * inputs_per_lane;
         run.sram_writes = outputs;
         run.extra.add("pool_iterations", iterations);
@@ -101,10 +95,7 @@ mod tests {
         let run = mapper().run(&layer).unwrap();
         assert_eq!(run.macs, layer.comparisons());
         assert!(run.cycles.as_u64() > 0);
-        assert_eq!(
-            run.sram_writes,
-            (96 * layer.out_h() * layer.out_w()) as u64
-        );
+        assert_eq!(run.sram_writes, (96 * layer.out_h() * layer.out_w()) as u64);
     }
 
     #[test]

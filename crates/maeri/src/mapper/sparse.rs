@@ -102,12 +102,7 @@ impl SparseConvMapper {
     /// # Errors
     ///
     /// Returns [`SimError::Unmappable`] for an invalid channel tile.
-    pub fn vn_sizes(
-        &self,
-        layer: &ConvLayer,
-        mask: &WeightMask,
-        ct: usize,
-    ) -> Result<Vec<usize>> {
+    pub fn vn_sizes(&self, layer: &ConvLayer, mask: &WeightMask, ct: usize) -> Result<Vec<usize>> {
         if ct == 0 || ct > layer.in_channels {
             return Err(SimError::unmappable(format!(
                 "channel tile {ct} invalid for {} channels",

@@ -68,10 +68,7 @@ pub fn art_to_dot(config: &ArtConfig) -> String {
     }
     // Multiplier switches (leaves) with VN membership.
     for leaf in 0..tree.num_leaves() {
-        let vn = config
-            .vns()
-            .iter()
-            .position(|range| range.contains(leaf));
+        let vn = config.vns().iter().position(|range| range.contains(leaf));
         let (label, color) = match vn {
             Some(id) => (format!("MS{leaf}\\nVN{id}"), "lightyellow"),
             None => (format!("MS{leaf}\\nidle"), "gray90"),
@@ -168,7 +165,10 @@ mod tests {
         assert!(dot.trim_end().ends_with('}'));
         // 31 node declarations and 30 up-link edges.
         assert_eq!(dot.matches("[shape=").count(), 31);
-        assert_eq!(dot.matches(" -> ").count() - cfg.forwarding_links().len(), 30);
+        assert_eq!(
+            dot.matches(" -> ").count() - cfg.forwarding_links().len(),
+            30
+        );
         // Activated FLs appear dashed.
         assert!(dot.contains("style=dashed"));
         // VN labels present.

@@ -48,7 +48,10 @@ fn verify_all(n: usize, bw: usize) {
         let mut seen = std::collections::BTreeSet::new();
         for fl in config.forwarding_links() {
             let key = (fl.from.min(fl.to), fl.from.max(fl.to));
-            assert!(seen.insert(key), "partition {ranges:?}: link {key:?} reused");
+            assert!(
+                seen.insert(key),
+                "partition {ranges:?}: link {key:?} reused"
+            );
         }
         // Max mode also works for every partition.
         let maxes = config.reduce_max(&values);

@@ -7,12 +7,12 @@ use proptest::prelude::*;
 
 fn arb_conv() -> impl Strategy<Value = ConvLayer> {
     (
-        1usize..=32,  // in channels
-        4usize..=32,  // spatial
-        1usize..=32,  // out channels
-        1usize..=5,   // kernel
-        1usize..=3,   // stride
-        0usize..=2,   // pad
+        1usize..=32, // in channels
+        4usize..=32, // spatial
+        1usize..=32, // out channels
+        1usize..=5,  // kernel
+        1usize..=3,  // stride
+        0usize..=2,  // pad
     )
         .prop_filter_map("kernel must fit", |(c, hw, k_out, k, s, p)| {
             (hw + 2 * p >= k).then(|| ConvLayer::new("prop", c, hw, hw, k_out, k, k, s, p))

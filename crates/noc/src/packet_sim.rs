@@ -91,8 +91,7 @@ pub fn deliver(chubby: &ChubbyTree, packets: &[Packet]) -> Result<DeliveryReport
         for &(idx, level) in &in_flight {
             let next_level = level + 1;
             let links = route_nodes[idx][next_level].len();
-            let capacity =
-                chubby.link_bandwidth(next_level) * tree.nodes_at_level(next_level);
+            let capacity = chubby.link_bandwidth(next_level) * tree.nodes_at_level(next_level);
             if level_words[next_level] + links <= capacity {
                 level_words[next_level] += links;
                 if next_level == levels - 1 {

@@ -220,7 +220,10 @@ mod tests {
             PLAIN.name(),
         ];
         assert_eq!(
-            names.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            names
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
             3
         );
     }

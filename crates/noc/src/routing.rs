@@ -201,8 +201,7 @@ mod tests {
             .collect();
         assert!(fits_chubby(&chubby, &transfers));
         // Seventeen do not (level-1 aggregate is 4).
-        let too_many: Vec<MulticastTree> =
-            (0..16).map(|l| multicast_tree(&t, &[l])).collect();
+        let too_many: Vec<MulticastTree> = (0..16).map(|l| multicast_tree(&t, &[l])).collect();
         assert!(!fits_chubby(&chubby, &too_many));
     }
 

@@ -188,7 +188,10 @@ impl DesignPoint {
             AcceleratorKind::SystolicArray => {
                 parts.push(("multipliers".into(), c::multiplier16().times(n)));
                 parts.push(("adders".into(), c::adder16().times(n)));
-                parts.push(("pipeline + control".into(), c::systolic_pe_extras().times(n)));
+                parts.push((
+                    "pipeline + control".into(),
+                    c::systolic_pe_extras().times(n),
+                ));
             }
             AcceleratorKind::Maeri => {
                 parts.push(("multipliers".into(), c::multiplier16().times(n)));
@@ -261,10 +264,7 @@ mod tests {
         let maeri = DesignPoint::maeri_comp_match().power_mw();
         let eyeriss = DesignPoint::eyeriss_baseline().power_mw();
         let overhead = maeri / eyeriss - 1.0;
-        assert!(
-            (overhead - 0.065).abs() < 0.02,
-            "power overhead {overhead}"
-        );
+        assert!((overhead - 0.065).abs() < 0.02, "power overhead {overhead}");
     }
 
     #[test]
@@ -272,7 +272,10 @@ mod tests {
         let maeri = DesignPoint::maeri_comp_match().area_um2();
         let eyeriss = DesignPoint::eyeriss_baseline().area_um2();
         let reduction = 1.0 - maeri / eyeriss;
-        assert!((reduction - 0.368).abs() < 0.02, "area reduction {reduction}");
+        assert!(
+            (reduction - 0.368).abs() < 0.02,
+            "area reduction {reduction}"
+        );
     }
 
     #[test]

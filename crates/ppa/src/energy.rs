@@ -64,8 +64,8 @@ impl EnergyModel {
     #[must_use]
     pub fn run_energy_nj(&self, run: &RunStats) -> f64 {
         let compute = run.macs as f64 * (self.mult_pj + self.add_pj);
-        let sram = run.sram_reads as f64 * self.sram_read_pj
-            + run.sram_writes as f64 * self.sram_write_pj;
+        let sram =
+            run.sram_reads as f64 * self.sram_read_pj + run.sram_writes as f64 * self.sram_write_pj;
         let noc = (run.sram_reads + run.sram_writes) as f64 * self.noc_hop_pj * self.avg_hops;
         (compute + sram + noc) / 1000.0
     }

@@ -1,0 +1,743 @@
+//! Simulation job descriptions and their content-hash identity.
+
+use maeri::analytic;
+use maeri::cycle_sim::{simulate_conv_iteration, LaneSpec, TraceStats};
+use maeri::{
+    ConvMapper, CrossLayerMapper, FcMapper, LstmMapper, MaeriConfig, PoolMapper, SparseConvMapper,
+    VnPolicy,
+};
+use maeri_baselines::{FixedClusterArray, RowStationary, SystolicArray};
+use maeri_dnn::{ConvLayer, FcLayer, LstmLayer, PoolLayer, WeightMask};
+use maeri_sim::SimRng;
+
+use crate::output::{JobResult, SimOutput};
+
+/// The modelling fidelity a job runs at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Closed-form cost model (mappers, baselines, walk-throughs).
+    Analytic,
+    /// Clocked cycle-by-cycle trace of the fabric.
+    CycleTrace,
+}
+
+/// One simulation request: everything needed to reproduce one point of
+/// a sweep, and nothing environment-dependent.
+///
+/// Jobs deliberately carry *descriptions* (e.g. a sparsity fraction and
+/// mask seed rather than a materialized [`WeightMask`]) so that their
+/// [content key](SimJob::key) is small and two textually identical
+/// requests are recognized as the same work.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimJob {
+    /// Dense CONV on the MAERI fabric.
+    DenseConv {
+        /// Fabric configuration.
+        cfg: MaeriConfig,
+        /// Layer to map.
+        layer: ConvLayer,
+        /// VN-sizing policy.
+        policy: VnPolicy,
+    },
+    /// Sparse CONV on the MAERI fabric. The weight mask is regenerated
+    /// deterministically from `(layer, zero_fraction, mask_seed)`.
+    SparseConv {
+        /// Fabric configuration.
+        cfg: MaeriConfig,
+        /// Layer to map.
+        layer: ConvLayer,
+        /// Fraction of zero weights in `[0, 1]`.
+        zero_fraction: f64,
+        /// Channels per neuron slice.
+        channel_tile: usize,
+        /// Seed for the mask generator.
+        mask_seed: u64,
+    },
+    /// Cross-layer fused CONV chain on the MAERI fabric.
+    FusedConvChain {
+        /// Fabric configuration.
+        cfg: MaeriConfig,
+        /// The fused layers, producer to consumer.
+        layers: Vec<ConvLayer>,
+    },
+    /// Fully-connected layer on the MAERI fabric.
+    Fc {
+        /// Fabric configuration.
+        cfg: MaeriConfig,
+        /// Layer to map.
+        layer: FcLayer,
+    },
+    /// LSTM layer on the MAERI fabric.
+    Lstm {
+        /// Fabric configuration.
+        cfg: MaeriConfig,
+        /// Layer to map.
+        layer: LstmLayer,
+    },
+    /// Max-pool layer on the MAERI fabric.
+    Pool {
+        /// Fabric configuration.
+        cfg: MaeriConfig,
+        /// Layer to map.
+        layer: PoolLayer,
+    },
+    /// Dense CONV on the weight-stationary systolic-array baseline.
+    SystolicConv {
+        /// PE rows.
+        rows: usize,
+        /// PE columns.
+        cols: usize,
+        /// SRAM bandwidth in words/cycle.
+        sram_bandwidth: usize,
+        /// Layer to run.
+        layer: ConvLayer,
+    },
+    /// Dense CONV on the row-stationary (Eyeriss-like) baseline.
+    RowStationaryConv {
+        /// PE rows.
+        rows: usize,
+        /// PE columns.
+        cols: usize,
+        /// SRAM bandwidth in words/cycle.
+        sram_bandwidth: usize,
+        /// Layer to run.
+        layer: ConvLayer,
+    },
+    /// Sparse CONV on the fixed-cluster baseline (mask regenerated as
+    /// for [`SimJob::SparseConv`]).
+    ClusterSparseConv {
+        /// Number of clusters.
+        clusters: usize,
+        /// PEs per cluster.
+        cluster_size: usize,
+        /// Shared-bus bandwidth in words/cycle.
+        bus_bandwidth: usize,
+        /// Layer to run.
+        layer: ConvLayer,
+        /// Fraction of zero weights in `[0, 1]`.
+        zero_fraction: f64,
+        /// Channels per neuron slice.
+        channel_tile: usize,
+        /// Seed for the mask generator.
+        mask_seed: u64,
+    },
+    /// Fused CONV chain on the fixed-cluster baseline.
+    ClusterFusedChain {
+        /// Number of clusters.
+        clusters: usize,
+        /// PEs per cluster.
+        cluster_size: usize,
+        /// Shared-bus bandwidth in words/cycle.
+        bus_bandwidth: usize,
+        /// The fused layers, producer to consumer.
+        layers: Vec<ConvLayer>,
+    },
+    /// Section 6.3 analytic walk-through of a systolic array.
+    AnalyticSystolic {
+        /// Layer to analyse.
+        layer: ConvLayer,
+        /// PE rows.
+        rows: usize,
+        /// PE columns.
+        cols: usize,
+    },
+    /// Section 6.3 analytic walk-through of a MAERI fabric.
+    AnalyticMaeri {
+        /// Layer to analyse.
+        layer: ConvLayer,
+        /// Multiplier switches.
+        num_ms: usize,
+        /// Distribution bandwidth in words/cycle.
+        dist_bw: usize,
+    },
+    /// Clocked cycle-trace of one CONV mapping iteration
+    /// ([`Fidelity::CycleTrace`]).
+    ConvTrace {
+        /// Fabric configuration.
+        cfg: MaeriConfig,
+        /// The lanes (virtual neurons) of the iteration.
+        lanes: Vec<LaneSpec>,
+        /// Outputs per lane.
+        steps: u64,
+        /// Input words multicast to every lane per step.
+        shared_inputs: usize,
+    },
+    /// Scheduler health-check probe. Completes immediately, or panics
+    /// with the given message — used to verify panic isolation.
+    Probe {
+        /// When `Some`, the job panics with this message.
+        panic_with: Option<String>,
+    },
+}
+
+impl SimJob {
+    /// Dense CONV on MAERI (see [`SimJob::DenseConv`]).
+    #[must_use]
+    pub fn dense_conv(cfg: MaeriConfig, layer: ConvLayer, policy: VnPolicy) -> Self {
+        SimJob::DenseConv { cfg, layer, policy }
+    }
+
+    /// Sparse CONV on MAERI (see [`SimJob::SparseConv`]).
+    #[must_use]
+    pub fn sparse_conv(
+        cfg: MaeriConfig,
+        layer: ConvLayer,
+        zero_fraction: f64,
+        channel_tile: usize,
+        mask_seed: u64,
+    ) -> Self {
+        SimJob::SparseConv {
+            cfg,
+            layer,
+            zero_fraction,
+            channel_tile,
+            mask_seed,
+        }
+    }
+
+    /// Fused CONV chain on MAERI (see [`SimJob::FusedConvChain`]).
+    #[must_use]
+    pub fn fused_chain(cfg: MaeriConfig, layers: Vec<ConvLayer>) -> Self {
+        SimJob::FusedConvChain { cfg, layers }
+    }
+
+    /// Systolic-array baseline CONV (see [`SimJob::SystolicConv`]).
+    #[must_use]
+    pub fn systolic_conv(
+        rows: usize,
+        cols: usize,
+        sram_bandwidth: usize,
+        layer: ConvLayer,
+    ) -> Self {
+        SimJob::SystolicConv {
+            rows,
+            cols,
+            sram_bandwidth,
+            layer,
+        }
+    }
+
+    /// Row-stationary baseline CONV (see [`SimJob::RowStationaryConv`]).
+    #[must_use]
+    pub fn row_stationary_conv(
+        rows: usize,
+        cols: usize,
+        sram_bandwidth: usize,
+        layer: ConvLayer,
+    ) -> Self {
+        SimJob::RowStationaryConv {
+            rows,
+            cols,
+            sram_bandwidth,
+            layer,
+        }
+    }
+
+    /// A probe that succeeds immediately.
+    #[must_use]
+    pub fn health_check() -> Self {
+        SimJob::Probe { panic_with: None }
+    }
+
+    /// A probe that panics — for exercising the pool's panic isolation.
+    #[must_use]
+    pub fn poison(message: impl Into<String>) -> Self {
+        SimJob::Probe {
+            panic_with: Some(message.into()),
+        }
+    }
+
+    /// The fidelity level this job models at.
+    #[must_use]
+    pub fn fidelity(&self) -> Fidelity {
+        match self {
+            SimJob::ConvTrace { .. } => Fidelity::CycleTrace,
+            _ => Fidelity::Analytic,
+        }
+    }
+
+    /// A short label for logs and progress reporting.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            SimJob::DenseConv { layer, .. } => format!("maeri/conv/{}", layer.name),
+            SimJob::SparseConv {
+                layer,
+                zero_fraction,
+                ..
+            } => format!("maeri/sparse/{}@{:.0}%", layer.name, zero_fraction * 100.0),
+            SimJob::FusedConvChain { layers, .. } => {
+                format!("maeri/fused/{}x", layers.len())
+            }
+            SimJob::Fc { layer, .. } => format!("maeri/fc/{}", layer.name),
+            SimJob::Lstm { layer, .. } => format!("maeri/lstm/{}", layer.name),
+            SimJob::Pool { layer, .. } => format!("maeri/pool/{}", layer.name),
+            SimJob::SystolicConv { layer, .. } => format!("systolic/conv/{}", layer.name),
+            SimJob::RowStationaryConv { layer, .. } => format!("rowstat/conv/{}", layer.name),
+            SimJob::ClusterSparseConv { layer, .. } => format!("cluster/sparse/{}", layer.name),
+            SimJob::ClusterFusedChain { layers, .. } => format!("cluster/fused/{}x", layers.len()),
+            SimJob::AnalyticSystolic { layer, .. } => format!("analytic/systolic/{}", layer.name),
+            SimJob::AnalyticMaeri { layer, .. } => format!("analytic/maeri/{}", layer.name),
+            SimJob::ConvTrace { lanes, .. } => format!("trace/conv/{}lanes", lanes.len()),
+            SimJob::Probe { panic_with } => match panic_with {
+                Some(_) => "probe/poison".to_owned(),
+                None => "probe/health".to_owned(),
+            },
+        }
+    }
+
+    /// Executes the job to completion. Pure: the result depends only on
+    /// the job description, never on scheduling.
+    ///
+    /// # Panics
+    ///
+    /// A [`SimJob::Probe`] with a poison message panics by design (the
+    /// worker pool converts the panic into a failed [`JobResult`]).
+    /// Mapper-internal invariant violations also surface as panics and
+    /// are isolated the same way.
+    pub fn execute(&self) -> JobResult {
+        match self {
+            SimJob::DenseConv { cfg, layer, policy } => {
+                Ok(SimOutput::Run(ConvMapper::new(*cfg).run(layer, *policy)?))
+            }
+            SimJob::SparseConv {
+                cfg,
+                layer,
+                zero_fraction,
+                channel_tile,
+                mask_seed,
+            } => {
+                let mask = regenerate_mask(layer, *zero_fraction, *mask_seed);
+                Ok(SimOutput::Run(SparseConvMapper::new(*cfg).run(
+                    layer,
+                    &mask,
+                    *channel_tile,
+                )?))
+            }
+            SimJob::FusedConvChain { cfg, layers } => {
+                Ok(SimOutput::Run(CrossLayerMapper::new(*cfg).run(layers)?))
+            }
+            SimJob::Fc { cfg, layer } => Ok(SimOutput::Run(FcMapper::new(*cfg).run(layer)?)),
+            SimJob::Lstm { cfg, layer } => Ok(SimOutput::Run(LstmMapper::new(*cfg).run(layer)?)),
+            SimJob::Pool { cfg, layer } => Ok(SimOutput::Run(PoolMapper::new(*cfg).run(layer)?)),
+            SimJob::SystolicConv {
+                rows,
+                cols,
+                sram_bandwidth,
+                layer,
+            } => Ok(SimOutput::Run(
+                SystolicArray::new(*rows, *cols, *sram_bandwidth).run_conv(layer),
+            )),
+            SimJob::RowStationaryConv {
+                rows,
+                cols,
+                sram_bandwidth,
+                layer,
+            } => Ok(SimOutput::Run(
+                RowStationary::new(*rows, *cols, *sram_bandwidth).run_conv(layer),
+            )),
+            SimJob::ClusterSparseConv {
+                clusters,
+                cluster_size,
+                bus_bandwidth,
+                layer,
+                zero_fraction,
+                channel_tile,
+                mask_seed,
+            } => {
+                let mask = regenerate_mask(layer, *zero_fraction, *mask_seed);
+                Ok(SimOutput::Run(
+                    FixedClusterArray::new(*clusters, *cluster_size, *bus_bandwidth).run_conv(
+                        layer,
+                        &mask,
+                        *channel_tile,
+                    )?,
+                ))
+            }
+            SimJob::ClusterFusedChain {
+                clusters,
+                cluster_size,
+                bus_bandwidth,
+                layers,
+            } => Ok(SimOutput::Run(
+                FixedClusterArray::new(*clusters, *cluster_size, *bus_bandwidth)
+                    .run_fused(layers)?,
+            )),
+            SimJob::AnalyticSystolic { layer, rows, cols } => Ok(SimOutput::Analytic(
+                analytic::systolic_example(layer, *rows, *cols),
+            )),
+            SimJob::AnalyticMaeri {
+                layer,
+                num_ms,
+                dist_bw,
+            } => Ok(SimOutput::Analytic(analytic::maeri_example(
+                layer, *num_ms, *dist_bw,
+            ))),
+            SimJob::ConvTrace {
+                cfg,
+                lanes,
+                steps,
+                shared_inputs,
+            } => {
+                let trace: TraceStats =
+                    simulate_conv_iteration(cfg, lanes, *steps, *shared_inputs)?;
+                Ok(SimOutput::Trace(trace))
+            }
+            SimJob::Probe { panic_with } => {
+                if let Some(message) = panic_with {
+                    panic!("{}", message.clone());
+                }
+                Ok(SimOutput::Run(maeri::RunStats::new(
+                    "probe",
+                    1,
+                    maeri_sim::Cycle::ONE,
+                    1,
+                )))
+            }
+        }
+    }
+
+    /// The job's content key: a canonical byte encoding of every field
+    /// that affects the result. Two jobs with equal keys compute the
+    /// same output, so the key doubles as the cache identity.
+    #[must_use]
+    pub fn key(&self) -> JobKey {
+        let mut enc = KeyEncoder::new();
+        match self {
+            SimJob::DenseConv { cfg, layer, policy } => {
+                enc.tag(1);
+                enc.config(cfg);
+                enc.conv(layer);
+                enc.policy(policy);
+            }
+            SimJob::SparseConv {
+                cfg,
+                layer,
+                zero_fraction,
+                channel_tile,
+                mask_seed,
+            } => {
+                enc.tag(2);
+                enc.config(cfg);
+                enc.conv(layer);
+                enc.f64(*zero_fraction);
+                enc.usize(*channel_tile);
+                enc.u64(*mask_seed);
+            }
+            SimJob::FusedConvChain { cfg, layers } => {
+                enc.tag(3);
+                enc.config(cfg);
+                enc.usize(layers.len());
+                for layer in layers {
+                    enc.conv(layer);
+                }
+            }
+            SimJob::Fc { cfg, layer } => {
+                enc.tag(4);
+                enc.config(cfg);
+                enc.str(&layer.name);
+                enc.usize(layer.inputs);
+                enc.usize(layer.outputs);
+            }
+            SimJob::Lstm { cfg, layer } => {
+                enc.tag(5);
+                enc.config(cfg);
+                enc.str(&layer.name);
+                enc.usize(layer.input_dim);
+                enc.usize(layer.hidden_dim);
+            }
+            SimJob::Pool { cfg, layer } => {
+                enc.tag(6);
+                enc.config(cfg);
+                enc.str(&layer.name);
+                enc.usize(layer.channels);
+                enc.usize(layer.in_h);
+                enc.usize(layer.in_w);
+                enc.usize(layer.window);
+                enc.usize(layer.stride);
+            }
+            SimJob::SystolicConv {
+                rows,
+                cols,
+                sram_bandwidth,
+                layer,
+            } => {
+                enc.tag(7);
+                enc.usize(*rows);
+                enc.usize(*cols);
+                enc.usize(*sram_bandwidth);
+                enc.conv(layer);
+            }
+            SimJob::RowStationaryConv {
+                rows,
+                cols,
+                sram_bandwidth,
+                layer,
+            } => {
+                enc.tag(8);
+                enc.usize(*rows);
+                enc.usize(*cols);
+                enc.usize(*sram_bandwidth);
+                enc.conv(layer);
+            }
+            SimJob::ClusterSparseConv {
+                clusters,
+                cluster_size,
+                bus_bandwidth,
+                layer,
+                zero_fraction,
+                channel_tile,
+                mask_seed,
+            } => {
+                enc.tag(9);
+                enc.usize(*clusters);
+                enc.usize(*cluster_size);
+                enc.usize(*bus_bandwidth);
+                enc.conv(layer);
+                enc.f64(*zero_fraction);
+                enc.usize(*channel_tile);
+                enc.u64(*mask_seed);
+            }
+            SimJob::ClusterFusedChain {
+                clusters,
+                cluster_size,
+                bus_bandwidth,
+                layers,
+            } => {
+                enc.tag(10);
+                enc.usize(*clusters);
+                enc.usize(*cluster_size);
+                enc.usize(*bus_bandwidth);
+                enc.usize(layers.len());
+                for layer in layers {
+                    enc.conv(layer);
+                }
+            }
+            SimJob::AnalyticSystolic { layer, rows, cols } => {
+                enc.tag(11);
+                enc.conv(layer);
+                enc.usize(*rows);
+                enc.usize(*cols);
+            }
+            SimJob::AnalyticMaeri {
+                layer,
+                num_ms,
+                dist_bw,
+            } => {
+                enc.tag(12);
+                enc.conv(layer);
+                enc.usize(*num_ms);
+                enc.usize(*dist_bw);
+            }
+            SimJob::ConvTrace {
+                cfg,
+                lanes,
+                steps,
+                shared_inputs,
+            } => {
+                enc.tag(13);
+                enc.config(cfg);
+                enc.usize(lanes.len());
+                for lane in lanes {
+                    enc.usize(lane.vn_size);
+                    enc.usize(lane.fresh_inputs_per_step);
+                }
+                enc.u64(*steps);
+                enc.usize(*shared_inputs);
+            }
+            SimJob::Probe { panic_with } => {
+                enc.tag(14);
+                match panic_with {
+                    Some(message) => {
+                        enc.tag(1);
+                        enc.str(message);
+                    }
+                    None => enc.tag(0),
+                }
+            }
+        }
+        enc.finish()
+    }
+}
+
+/// Regenerates the deterministic weight mask a sparse job describes.
+fn regenerate_mask(layer: &ConvLayer, zero_fraction: f64, seed: u64) -> WeightMask {
+    WeightMask::generate(layer, zero_fraction, &mut SimRng::seed(seed))
+}
+
+/// Content identity of a [`SimJob`].
+///
+/// The key stores the job's full canonical encoding, so equal keys mean
+/// equal jobs (a perfect content hash — no collision risk); a 64-bit
+/// [fingerprint](JobKey::fingerprint) is derived for display.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobKey(Box<[u8]>);
+
+impl JobKey {
+    /// A short FNV-1a fingerprint for logs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &byte in self.0.iter() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.fingerprint())
+    }
+}
+
+struct KeyEncoder {
+    bytes: Vec<u8>,
+}
+
+impl KeyEncoder {
+    fn new() -> Self {
+        KeyEncoder { bytes: Vec::new() }
+    }
+
+    fn tag(&mut self, tag: u8) {
+        self.bytes.push(tag);
+    }
+
+    fn u64(&mut self, value: u64) {
+        self.bytes.extend_from_slice(&value.to_le_bytes());
+    }
+
+    fn usize(&mut self, value: usize) {
+        self.u64(value as u64);
+    }
+
+    fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    fn str(&mut self, value: &str) {
+        self.usize(value.len());
+        self.bytes.extend_from_slice(value.as_bytes());
+    }
+
+    fn config(&mut self, cfg: &MaeriConfig) {
+        self.usize(cfg.num_mult_switches());
+        self.usize(cfg.dist_bandwidth());
+        self.usize(cfg.collect_bandwidth());
+        self.usize(cfg.ms_local_buffers());
+    }
+
+    fn conv(&mut self, layer: &ConvLayer) {
+        self.str(&layer.name);
+        self.usize(layer.in_channels);
+        self.usize(layer.in_h);
+        self.usize(layer.in_w);
+        self.usize(layer.out_channels);
+        self.usize(layer.kernel_h);
+        self.usize(layer.kernel_w);
+        self.usize(layer.stride);
+        self.usize(layer.pad);
+    }
+
+    fn policy(&mut self, policy: &VnPolicy) {
+        match policy {
+            VnPolicy::FullFilter => self.tag(0),
+            VnPolicy::ChannelsPerVn(channels) => {
+                self.tag(1);
+                self.usize(*channels);
+            }
+            VnPolicy::Auto => self.tag(2),
+            // `VnPolicy` is non-exhaustive upstream; any new variant
+            // must be given a stable encoding here before use.
+            other => unimplemented!("no key encoding for VN policy {other:?}"),
+        }
+    }
+
+    fn finish(self) -> JobKey {
+        JobKey(self.bytes.into_boxed_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvLayer {
+        ConvLayer::new("k", 3, 8, 8, 4, 3, 3, 1, 1)
+    }
+
+    #[test]
+    fn identical_jobs_share_a_key() {
+        let a = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        let b = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        assert_eq!(a.key(), b.key());
+    }
+
+    #[test]
+    fn different_fields_change_the_key() {
+        let base = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        let policy = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::FullFilter);
+        let cfg = SimJob::dense_conv(
+            MaeriConfig::builder(128).build().unwrap(),
+            layer(),
+            VnPolicy::Auto,
+        );
+        assert_ne!(base.key(), policy.key());
+        assert_ne!(base.key(), cfg.key());
+    }
+
+    #[test]
+    fn variants_never_collide() {
+        // Same layer through different designs must key differently.
+        let dense = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        let systolic = SimJob::systolic_conv(8, 8, 8, layer());
+        let rowstat = SimJob::row_stationary_conv(8, 8, 8, layer());
+        assert_ne!(dense.key(), systolic.key());
+        assert_ne!(systolic.key(), rowstat.key());
+    }
+
+    #[test]
+    fn execute_is_pure() {
+        let job = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        let a = job.execute().unwrap().into_run_stats();
+        let b = job.execute().unwrap().into_run_stats();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sparse_mask_is_deterministic_from_description() {
+        let job = SimJob::sparse_conv(MaeriConfig::paper_64(), layer(), 0.3, 3, 42);
+        let a = job.execute().unwrap().into_run_stats();
+        let b = job.execute().unwrap().into_run_stats();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.sram_reads, b.sram_reads);
+    }
+
+    #[test]
+    fn unmappable_is_an_error_value() {
+        // Channel tile larger than the channel count is rejected.
+        let job = SimJob::sparse_conv(MaeriConfig::paper_64(), layer(), 0.0, 99, 1);
+        assert!(matches!(job.execute(), Err(crate::JobError::Sim(_))));
+    }
+
+    #[test]
+    fn fidelity_classification() {
+        assert_eq!(
+            SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto).fidelity(),
+            Fidelity::Analytic
+        );
+        let trace = SimJob::ConvTrace {
+            cfg: MaeriConfig::paper_64(),
+            lanes: vec![LaneSpec {
+                vn_size: 9,
+                fresh_inputs_per_step: 3,
+            }],
+            steps: 4,
+            shared_inputs: 1,
+        };
+        assert_eq!(trace.fidelity(), Fidelity::CycleTrace);
+    }
+}

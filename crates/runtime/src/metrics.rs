@@ -1,0 +1,199 @@
+//! Lightweight runtime metrics: counters plus per-phase wall times.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Wall-clock accounting for one named batch (a "phase": e.g. one
+/// figure's sweep inside `regen_all`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase label, as passed to [`crate::Runtime::run_phase`].
+    pub name: String,
+    /// Jobs submitted in the phase (including ones served from cache).
+    pub jobs: usize,
+    /// Jobs answered from the result cache or deduplicated in-batch.
+    pub cache_hits: usize,
+    /// Wall time from submission to full assembly.
+    pub wall: Duration,
+}
+
+/// Point-in-time copy of the runtime's counters, safe to print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Jobs handed to the runtime (cache hits included).
+    pub submitted: u64,
+    /// Jobs actually executed on a worker.
+    pub executed: u64,
+    /// Executed jobs that returned an error (sim rejection or panic).
+    pub failed: u64,
+    /// Jobs answered without executing (cache or in-batch dedup).
+    pub cache_hits: u64,
+    /// Highest number of jobs simultaneously in flight on the queue.
+    pub queue_high_water: usize,
+    /// Per-phase wall-time log, in submission order.
+    pub phases: Vec<PhaseStats>,
+}
+
+impl MetricsSnapshot {
+    /// Total wall time across all recorded phases.
+    #[must_use]
+    pub fn total_wall(&self) -> Duration {
+        self.phases.iter().map(|p| p.wall).sum()
+    }
+
+    /// Renders the snapshot as an aligned plain-text report (used by
+    /// the `regen_all` summary).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("runtime metrics\n");
+        out.push_str(&format!(
+            "  jobs: {} submitted, {} executed, {} failed, {} cache hits\n",
+            self.submitted, self.executed, self.failed, self.cache_hits
+        ));
+        out.push_str(&format!(
+            "  queue high-water: {} in flight\n",
+            self.queue_high_water
+        ));
+        if !self.phases.is_empty() {
+            out.push_str("  phases:\n");
+            let width = self.phases.iter().map(|p| p.name.len()).max().unwrap_or(0);
+            for phase in &self.phases {
+                out.push_str(&format!(
+                    "    {:width$}  {:3} jobs  {:3} cached  {:8.2?}\n",
+                    phase.name,
+                    phase.jobs,
+                    phase.cache_hits,
+                    phase.wall,
+                    width = width
+                ));
+            }
+            out.push_str(&format!("  total wall: {:.2?}\n", self.total_wall()));
+        }
+        out
+    }
+}
+
+/// Shared counters updated by the runtime and its workers.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    in_flight: AtomicUsize,
+    queue_high_water: AtomicUsize,
+    phases: Mutex<Vec<PhaseStats>>,
+}
+
+impl RuntimeMetrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_submitted(&self, count: usize) {
+        self.submitted.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_executed(&self, failed: bool) {
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if failed {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_cache_hits(&self, count: usize) {
+        self.cache_hits.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    /// Marks one job entering the queue and updates the high-water mark.
+    pub(crate) fn job_enqueued(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Marks one job leaving a worker.
+    pub(crate) fn job_drained(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_phase(&self, phase: PhaseStats) {
+        self.phases
+            .lock()
+            .expect("metrics phase log poisoned")
+            .push(phase);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting. Counters are
+    /// relaxed atomics; exact cross-counter consistency is only
+    /// guaranteed while no batch is in flight.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            executed: self.executed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            phases: self
+                .phases
+                .lock()
+                .expect("metrics phase log poisoned")
+                .clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let metrics = RuntimeMetrics::new();
+        metrics.record_submitted(5);
+        metrics.record_cache_hits(2);
+        metrics.record_executed(false);
+        metrics.record_executed(true);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.executed, 2);
+        assert_eq!(snap.failed, 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_not_current() {
+        let metrics = RuntimeMetrics::new();
+        metrics.job_enqueued();
+        metrics.job_enqueued();
+        metrics.job_enqueued();
+        metrics.job_drained();
+        metrics.job_drained();
+        assert_eq!(metrics.snapshot().queue_high_water, 3);
+    }
+
+    #[test]
+    fn render_mentions_every_phase() {
+        let metrics = RuntimeMetrics::new();
+        metrics.record_phase(PhaseStats {
+            name: "figure12".into(),
+            jobs: 30,
+            cache_hits: 0,
+            wall: Duration::from_millis(12),
+        });
+        metrics.record_phase(PhaseStats {
+            name: "headline".into(),
+            jobs: 30,
+            cache_hits: 30,
+            wall: Duration::from_millis(1),
+        });
+        let text = metrics.snapshot().render();
+        assert!(text.contains("figure12"));
+        assert!(text.contains("headline"));
+        assert!(text.contains("total wall"));
+    }
+}

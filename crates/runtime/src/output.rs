@@ -1,0 +1,178 @@
+//! Job outcomes: successful simulation outputs and isolated failures.
+
+use std::fmt;
+
+use maeri::analytic::AnalyticResult;
+use maeri::cycle_sim::TraceStats;
+use maeri::RunStats;
+use maeri_sim::SimError;
+
+/// What one completed [`crate::SimJob`] produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimOutput {
+    /// Cost-model statistics from a mapper or baseline run.
+    Run(RunStats),
+    /// A closed-form analytic walk-through (Figure 17 style).
+    Analytic(AnalyticResult),
+    /// A clocked cycle-trace of one mapping iteration.
+    Trace(TraceStats),
+}
+
+impl SimOutput {
+    /// The run statistics, if this output is a mapper/baseline run.
+    #[must_use]
+    pub fn run_stats(&self) -> Option<&RunStats> {
+        match self {
+            SimOutput::Run(stats) => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// Unwraps run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is not a [`SimOutput::Run`].
+    #[must_use]
+    pub fn into_run_stats(self) -> RunStats {
+        match self {
+            SimOutput::Run(stats) => stats,
+            other => panic!("expected run statistics, got {}", other.kind()),
+        }
+    }
+
+    /// The analytic result, if this output is a walk-through.
+    #[must_use]
+    pub fn analytic(&self) -> Option<&AnalyticResult> {
+        match self {
+            SimOutput::Analytic(result) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Unwraps an analytic result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is not a [`SimOutput::Analytic`].
+    #[must_use]
+    pub fn into_analytic(self) -> AnalyticResult {
+        match self {
+            SimOutput::Analytic(result) => result,
+            other => panic!("expected analytic result, got {}", other.kind()),
+        }
+    }
+
+    /// The trace statistics, if this output is a cycle-trace.
+    #[must_use]
+    pub fn trace_stats(&self) -> Option<&TraceStats> {
+        match self {
+            SimOutput::Trace(stats) => Some(stats),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            SimOutput::Run(_) => "run statistics",
+            SimOutput::Analytic(_) => "analytic result",
+            SimOutput::Trace(_) => "trace statistics",
+        }
+    }
+
+    /// A canonical, field-stable text encoding.
+    ///
+    /// Two outputs are equal exactly when their canonical texts are
+    /// byte-identical, which is what the determinism tests compare
+    /// between single-worker and multi-worker batches.
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
+        fn extras(stats: &maeri_sim::Stats) -> String {
+            // Stats iterates in name order, so this is stable.
+            stats
+                .iter()
+                .map(|(name, value)| format!("{name}={value}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        match self {
+            SimOutput::Run(run) => format!(
+                "run label={} units={} cycles={} macs={} sram_reads={} sram_writes={} extra=[{}]",
+                run.label,
+                run.compute_units,
+                run.cycles.as_u64(),
+                run.macs,
+                run.sram_reads,
+                run.sram_writes,
+                extras(&run.extra),
+            ),
+            SimOutput::Analytic(result) => format!(
+                "analytic design={} cycles={} sram_reads={} steps={}",
+                result.design,
+                result.cycles,
+                result.sram_reads,
+                result.breakdown.len(),
+            ),
+            SimOutput::Trace(trace) => format!(
+                "trace cycles={} waves={} busy={} dist_stalls={} coll_stalls={} extra=[{}]",
+                trace.cycles.as_u64(),
+                trace.waves_completed,
+                trace.busy_cycles,
+                trace.distribution_stall_cycles,
+                trace.collection_stall_cycles,
+                extras(&trace.extra),
+            ),
+        }
+    }
+}
+
+/// Why a job failed. Failures are values, not crashes: one bad point in
+/// a sweep never takes down the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The simulator rejected the request (unmappable, bad config, ...).
+    Sim(String),
+    /// The job panicked; the worker caught it and kept serving.
+    Panicked(String),
+}
+
+impl JobError {
+    /// A canonical, field-stable text encoding (see
+    /// [`SimOutput::canonical_text`]).
+    #[must_use]
+    pub fn canonical_text(&self) -> String {
+        match self {
+            JobError::Sim(msg) => format!("error sim={msg}"),
+            JobError::Panicked(msg) => format!("error panic={msg}"),
+        }
+    }
+}
+
+impl From<SimError> for JobError {
+    fn from(err: SimError) -> Self {
+        JobError::Sim(err.to_string())
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Sim(msg) => write!(f, "simulation error: {msg}"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Outcome of one job: output or isolated failure.
+pub type JobResult = Result<SimOutput, JobError>;
+
+/// Canonical text for a whole result (success or failure).
+#[must_use]
+pub fn canonical_result_text(result: &JobResult) -> String {
+    match result {
+        Ok(output) => output.canonical_text(),
+        Err(error) => error.canonical_text(),
+    }
+}

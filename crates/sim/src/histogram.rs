@@ -106,9 +106,7 @@ impl Histogram {
             return Vec::new();
         };
         let width = ((max - min) / count as u64 + 1).max(1);
-        let mut out: Vec<(u64, usize)> = (0..count)
-            .map(|i| (min + i as u64 * width, 0))
-            .collect();
+        let mut out: Vec<(u64, usize)> = (0..count).map(|i| (min + i as u64 * width, 0)).collect();
         for &s in &self.samples {
             let idx = (((s - min) / width) as usize).min(count - 1);
             out[idx].1 += 1;

@@ -78,17 +78,19 @@ impl Series {
     /// Minimum y value, or `None` for an empty series.
     #[must_use]
     pub fn min_y(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |a: f64| a.min(y)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.min(y))))
     }
 
     /// Maximum y value, or `None` for an empty series.
     #[must_use]
     pub fn max_y(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, y)| y).fold(None, |acc, y| {
-            Some(acc.map_or(y, |a: f64| a.max(y)))
-        })
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(None, |acc, y| Some(acc.map_or(y, |a: f64| a.max(y))))
     }
 
     /// The y value at a given x, if that exact x was recorded.

@@ -1,0 +1,72 @@
+//! Batch-sweep through the simulation runtime: map one VGG-style layer
+//! across a grid of fabric sizes and bandwidths in a single submission,
+//! let the worker pool parallelize it, and read the results back in job
+//! order — then re-run the batch to watch the result cache answer it.
+//!
+//! Run with: `cargo run --release --example batch_sweep`
+//! (set `MAERI_RUNTIME_WORKERS` to control the pool size)
+
+use maeri_repro::dnn::ConvLayer;
+use maeri_repro::fabric::{MaeriConfig, VnPolicy};
+use maeri_repro::runtime::{Runtime, SimJob};
+use maeri_repro::sim::table::{fmt_pct, Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let layer = ConvLayer::new("vgg_style", 64, 28, 28, 64, 3, 3, 1, 1);
+    println!("layer: {layer}\n");
+
+    // The sweep grid: fabric size x root bandwidth, dense and 40%-sparse.
+    let sizes = [16usize, 32, 64, 128];
+    let bandwidths = [2usize, 8];
+    let mut jobs = Vec::new();
+    for &num_ms in &sizes {
+        for &bw in &bandwidths {
+            let cfg = MaeriConfig::builder(num_ms)
+                .distribution_bandwidth(bw)
+                .collection_bandwidth(bw)
+                .build()?;
+            jobs.push(SimJob::dense_conv(cfg, layer.clone(), VnPolicy::Auto));
+            jobs.push(SimJob::sparse_conv(cfg, layer.clone(), 0.4, 3, 7));
+        }
+    }
+
+    let runtime = Runtime::global();
+    println!(
+        "submitting {} jobs to {} worker(s)...\n",
+        jobs.len(),
+        runtime.num_workers()
+    );
+    let results = runtime.run_phase("batch_sweep", &jobs);
+
+    let mut table = Table::new(vec![
+        "multiplier switches",
+        "root bandwidth",
+        "dense cycles",
+        "dense util",
+        "40% sparse cycles",
+        "sparse util",
+    ]);
+    let mut iter = results.into_iter();
+    for &num_ms in &sizes {
+        for &bw in &bandwidths {
+            let dense = iter.next().unwrap()?.into_run_stats();
+            let sparse = iter.next().unwrap()?.into_run_stats();
+            table.row(vec![
+                num_ms.to_string(),
+                format!("{bw} words/cyc"),
+                dense.cycles.to_string(),
+                fmt_pct(dense.utilization()),
+                sparse.cycles.to_string(),
+                fmt_pct(sparse.utilization()),
+            ]);
+        }
+    }
+    print!("{table}");
+
+    // Same batch again: every point is answered from the result cache.
+    let _ = runtime.run_phase("batch_sweep (warm)", &jobs);
+    let metrics = runtime.metrics();
+    println!("\n{}", metrics.render().trim_end());
+    assert_eq!(metrics.cache_hits as usize, jobs.len());
+    Ok(())
+}

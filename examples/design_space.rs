@@ -42,8 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 cycles += run.cycles.as_u64();
                 utils.push(run.utilization());
             }
-            let mean_util =
-                maeri_repro::sim::util::mean(&utils).expect("vgg has conv layers");
+            let mean_util = maeri_repro::sim::util::mean(&utils).expect("vgg has conv layers");
             let area = DesignPoint {
                 kind: AcceleratorKind::Maeri,
                 num_pes: switches,

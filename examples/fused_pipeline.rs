@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = MaeriConfig::paper_64();
     let mapper = CrossLayerMapper::new(cfg);
     let shares = mapper.partition(&chain)?;
-    println!("\nswitch partition over {} multipliers:", cfg.num_mult_switches());
+    println!(
+        "\nswitch partition over {} multipliers:",
+        cfg.num_mult_switches()
+    );
     for stage in mapper.stage_costs(&chain, &shares) {
         println!(
             "  {:14} {:>2} switches, {} VNs, stage compute {:>10} cyc",

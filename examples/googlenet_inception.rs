@@ -21,13 +21,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
         vec![ConvLayer::new("pool_proj", 192, 28, 28, 32, 1, 1, 1, 0)],
     ];
-    println!("GoogLeNet inception 3a: {} branches, filter sizes 1x1 / 3x3 / 5x5", branches.len());
+    println!(
+        "GoogLeNet inception 3a: {} branches, filter sizes 1x1 / 3x3 / 5x5",
+        branches.len()
+    );
 
     let cfg = MaeriConfig::paper_64();
     let mapper = CrossLayerMapper::new(cfg);
     let run = mapper.run_parallel(&branches)?;
 
-    println!("\nswitch partition across the {} multipliers:", cfg.num_mult_switches());
+    println!(
+        "\nswitch partition across the {} multipliers:",
+        cfg.num_mult_switches()
+    );
     for layer in branches.iter().flatten() {
         let (granule, pieces, ct) = CrossLayerMapper::vn_granule(layer);
         println!(

@@ -8,8 +8,8 @@
 use maeri_repro::dnn::{ConvLayer, FcLayer, LstmLayer, PoolLayer, WeightMask};
 use maeri_repro::fabric::engine::RunStats;
 use maeri_repro::fabric::{
-    ConvMapper, CrossLayerMapper, FcMapper, LstmMapper, MaeriConfig, PoolMapper,
-    SparseConvMapper, VnPolicy,
+    ConvMapper, CrossLayerMapper, FcMapper, LstmMapper, MaeriConfig, PoolMapper, SparseConvMapper,
+    VnPolicy,
 };
 use maeri_repro::sim::SimRng;
 

@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nreference LSTM cell sanity: |h| in [{:.3}, {:.3}] (bounded by tanh) — ok",
         step.hidden.iter().copied().fold(f32::INFINITY, f32::min),
-        step.hidden.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+        step.hidden
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max),
     );
     assert!(step.hidden.iter().all(|h| h.abs() <= 1.0));
     Ok(())

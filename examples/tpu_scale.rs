@@ -32,7 +32,10 @@ fn main() {
             conv.name.clone(),
             sa.sram_reads.to_string(),
             maeri.sram_reads.to_string(),
-            format!("{}x", fmt_f64(sa.sram_reads as f64 / maeri.sram_reads as f64, 2)),
+            format!(
+                "{}x",
+                fmt_f64(sa.sram_reads as f64 / maeri.sram_reads as f64, 2)
+            ),
             sa.cycles.to_string(),
             maeri.cycles.to_string(),
         ]);

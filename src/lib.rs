@@ -15,6 +15,8 @@
 //! * [`baselines`] — systolic array, row stationary, fixed clusters
 //!   ([`maeri_baselines`]),
 //! * [`ppa`] — the calibrated 28 nm area/power model ([`maeri_ppa`]),
+//! * [`runtime`] — parallel batch execution: simulation jobs, the
+//!   worker-pool scheduler, result caching ([`maeri_runtime`]),
 //! * [`sim`] — cycles, statistics, RNG, tables ([`maeri_sim`]).
 //!
 //! # Quick start
@@ -51,6 +53,9 @@ pub use maeri_baselines as baselines;
 
 /// 28 nm PPA model (re-export of `maeri-ppa`).
 pub use maeri_ppa as ppa;
+
+/// Batch-simulation runtime (re-export of `maeri-runtime`).
+pub use maeri_runtime as runtime;
 
 /// Simulation kernel (re-export of `maeri-sim`).
 pub use maeri_sim as sim;

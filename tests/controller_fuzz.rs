@@ -25,7 +25,10 @@ fn random_models_always_compile_and_run() {
         );
         for (cmd, layer) in run.schedule.iter().zip(model.layers()) {
             assert_eq!(cmd.layer, layer.name(), "seed {seed}");
-            assert!(cmd.vn_size >= 1 && cmd.vn_size <= 64, "seed {seed}: {cmd:?}");
+            assert!(
+                cmd.vn_size >= 1 && cmd.vn_size <= 64,
+                "seed {seed}: {cmd:?}"
+            );
         }
     }
 }

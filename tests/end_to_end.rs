@@ -4,9 +4,7 @@
 use maeri_repro::dnn::layer::Layer;
 use maeri_repro::dnn::zoo;
 use maeri_repro::fabric::engine::RunStats;
-use maeri_repro::fabric::{
-    ConvMapper, FcMapper, LstmMapper, MaeriConfig, PoolMapper, VnPolicy,
-};
+use maeri_repro::fabric::{ConvMapper, FcMapper, LstmMapper, MaeriConfig, PoolMapper, VnPolicy};
 
 fn run_layer(cfg: MaeriConfig, layer: &Layer) -> RunStats {
     match layer {
@@ -79,7 +77,9 @@ fn bigger_fabric_is_faster_on_big_layers() {
         .collection_bandwidth(32)
         .build()
         .unwrap();
-    let big = ConvMapper::new(big_cfg).run(&layer, VnPolicy::Auto).unwrap();
+    let big = ConvMapper::new(big_cfg)
+        .run(&layer, VnPolicy::Auto)
+        .unwrap();
     assert!(
         big.cycles.as_u64() * 2 < small.cycles.as_u64(),
         "256 switches should be >2x faster: {} vs {}",
