@@ -1,0 +1,6 @@
+//! Fault sweep: yield and slowdown on a fabric with dead multiplier
+//! switches (thin wrapper over `maeri_bench::reports::fault_sweep`).
+
+fn main() {
+    maeri_bench::reports::fault_sweep::run();
+}

@@ -12,7 +12,7 @@
 
 use maeri::analytic::AnalyticResult;
 use maeri::engine::RunStats;
-use maeri::{MaeriConfig, VnPolicy};
+use maeri::{FaultSpec, MaeriConfig, VnPolicy};
 use maeri_dnn::layer::Layer;
 use maeri_dnn::{zoo, ConvLayer};
 use maeri_noc::ppa::{compare_all, NocKind, NocPpa};
@@ -398,6 +398,123 @@ pub fn figure11_scaling() -> Vec<(usize, f64, f64, f64)> {
         .collect()
 }
 
+// ------------------------------------------------------------- fault sweep
+
+/// One dead-multiplier rate of the fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepRow {
+    /// Injected dead-multiplier rate, in permille.
+    pub rate_permille: u16,
+    /// Mean surviving compute fraction across the sweep seeds.
+    pub fabric_yield: f64,
+    /// Points (layer x seed) that still produced a mapping.
+    pub mapped: usize,
+    /// Total points at this rate.
+    pub points: usize,
+    /// Mean cycles across the mapped points.
+    pub mean_cycles: f64,
+    /// Mean per-point cycle ratio against the fault-free fabric,
+    /// over the mapped points.
+    pub slowdown: f64,
+}
+
+/// Dead-multiplier rates swept, in permille (0-25 % of the array).
+pub const FAULT_SWEEP_RATES: [u16; 6] = [0, 50, 100, 150, 200, 250];
+
+/// Seeds averaged per fault rate.
+const FAULT_SWEEP_SEEDS: [u64; 3] = [EXPERIMENT_SEED, EXPERIMENT_SEED + 1, EXPERIMENT_SEED + 2];
+
+fn fault_sweep_config(rate_permille: u16, seed: u64) -> MaeriConfig {
+    if rate_permille == 0 {
+        // The fault-free point is the plain paper fabric, so it shares
+        // cached results with every other report.
+        return paper_config();
+    }
+    MaeriConfig::builder(64)
+        .faults(FaultSpec::new(seed).dead_multipliers(rate_permille))
+        .build()
+        .expect("sub-100% fault rates validate")
+}
+
+/// Runs the fault sweep: AlexNet's convolution layers on a 64-switch
+/// fabric with 0-25 % of the multiplier switches stuck dead, averaged
+/// over three fault placements per rate. Reports the surviving compute
+/// yield, how many points still map (the fault-aware mappers carve VNs
+/// around the dead spans), and the cycle cost of the lost parallelism.
+#[must_use]
+pub fn fault_sweep() -> Vec<FaultSweepRow> {
+    let model = zoo::alexnet();
+    let layers: Vec<ConvLayer> = model.conv_layers().into_iter().cloned().collect();
+    let mut jobs = Vec::new();
+    for &rate in &FAULT_SWEEP_RATES {
+        for &seed in &FAULT_SWEEP_SEEDS {
+            let cfg = fault_sweep_config(rate, seed);
+            for layer in &layers {
+                jobs.push(SimJob::dense_conv(cfg, layer.clone(), VnPolicy::Auto));
+            }
+        }
+    }
+    let results: Vec<JobResult> = Runtime::global().run_phase("fault_sweep", &jobs);
+
+    // The first rate is 0: its first seed's block is the clean baseline.
+    let clean_cycles: Vec<f64> = results[..layers.len()]
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .expect("the fault-free fabric maps every layer")
+                .run_stats()
+                .expect("dense conv returns run statistics")
+                .cycles
+                .as_f64()
+        })
+        .collect();
+
+    let block = FAULT_SWEEP_SEEDS.len() * layers.len();
+    FAULT_SWEEP_RATES
+        .iter()
+        .enumerate()
+        .map(|(rate_idx, &rate)| {
+            let mut mapped = 0usize;
+            let mut cycle_sum = 0.0;
+            let mut ratio_sum = 0.0;
+            let mut yield_sum = 0.0;
+            for (seed_idx, &seed) in FAULT_SWEEP_SEEDS.iter().enumerate() {
+                let cfg = fault_sweep_config(rate, seed);
+                yield_sum += cfg.fault_plan().map_or(1.0, |plan| plan.yield_fraction());
+                for (layer_idx, _) in layers.iter().enumerate() {
+                    let at = rate_idx * block + seed_idx * layers.len() + layer_idx;
+                    if let Ok(output) = &results[at] {
+                        let cycles = output
+                            .run_stats()
+                            .expect("dense conv returns run statistics")
+                            .cycles
+                            .as_f64();
+                        mapped += 1;
+                        cycle_sum += cycles;
+                        ratio_sum += cycles / clean_cycles[layer_idx];
+                    }
+                }
+            }
+            FaultSweepRow {
+                rate_permille: rate,
+                fabric_yield: yield_sum / FAULT_SWEEP_SEEDS.len() as f64,
+                mapped,
+                points: block,
+                mean_cycles: if mapped > 0 {
+                    cycle_sum / mapped as f64
+                } else {
+                    0.0
+                },
+                slowdown: if mapped > 0 {
+                    ratio_sum / mapped as f64
+                } else {
+                    f64::INFINITY
+                },
+            }
+        })
+        .collect()
+}
+
 // ----------------------------------------------------------------- headline
 
 /// Utilization-improvement observations across all dataflow
@@ -571,6 +688,48 @@ mod tests {
             "read ratio {}",
             report.vgg16_read_ratio_256
         );
+    }
+
+    #[test]
+    fn fault_sweep_degrades_gracefully() {
+        let rows = fault_sweep();
+        assert_eq!(rows.len(), FAULT_SWEEP_RATES.len());
+        let clean = &rows[0];
+        assert!((clean.fabric_yield - 1.0).abs() < 1e-12);
+        assert!((clean.slowdown - 1.0).abs() < 1e-12);
+        assert_eq!(clean.mapped, clean.points);
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].fabric_yield <= pair[0].fabric_yield + 1e-12,
+                "yield must fall as faults rise"
+            );
+        }
+        for row in &rows {
+            assert!(
+                row.slowdown >= 1.0 - 1e-9,
+                "faults never speed things up: {} at {}",
+                row.slowdown,
+                row.rate_permille
+            );
+            assert!(
+                row.mapped == row.points,
+                "auto VN sizing must carve around <=25% dead switches"
+            );
+        }
+        let last = rows.last().unwrap();
+        assert!(last.slowdown > 1.0, "25% dead switches must cost cycles");
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic() {
+        let a = fault_sweep();
+        let b = fault_sweep();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rate_permille, y.rate_permille);
+            assert_eq!(x.mapped, y.mapped);
+            assert!((x.mean_cycles - y.mean_cycles).abs() < 1e-12);
+            assert!((x.slowdown - y.slowdown).abs() < 1e-12);
+        }
     }
 
     #[test]

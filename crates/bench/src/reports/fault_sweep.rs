@@ -1,0 +1,59 @@
+//! Fault sweep: MAERI's reconfigurable trees are also a yield story.
+//! Because virtual neurons are just contiguous leaf ranges, the mappers
+//! can carve them around dead multiplier switches and keep producing
+//! reference-exact outputs on a degraded fabric — a rigid systolic
+//! array loses whole rows/columns instead. This report sweeps the
+//! dead-switch rate from 0 to 25 % and measures surviving compute
+//! yield, mapping success, and the cycle cost of the lost parallelism.
+
+use crate::{experiments, report};
+use maeri_sim::table::{fmt_f64, Table};
+
+/// Prints this report to stdout.
+pub fn run() {
+    report::header(
+        "Fault sweep — graceful degradation on a faulty fabric",
+        "robustness extension: fault-aware VN remapping over Section 4's trees",
+    );
+    let rows = experiments::fault_sweep();
+    let mut table = Table::new(vec![
+        "dead switches",
+        "fabric yield",
+        "mapped points",
+        "mean cycles",
+        "slowdown",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            format!("{:.1}%", f64::from(row.rate_permille) / 10.0),
+            format!("{:.1}%", row.fabric_yield * 100.0),
+            format!("{}/{}", row.mapped, row.points),
+            report::cycles(row.mean_cycles.round() as u64),
+            format!("{}x", fmt_f64(row.slowdown, 2)),
+        ]);
+    }
+    report::section(
+        "AlexNet convolutions, 64 switches, 3 fault placements per rate",
+        &table,
+    );
+    let last = rows.last().expect("sweep is non-empty");
+    report::summary(&[
+        format!(
+            "at {:.0}% dead multiplier switches every AlexNet layer still maps \
+             ({}/{} points) and outputs stay reference-exact — the mappers shrink \
+             and repack virtual neurons into the surviving healthy spans",
+            f64::from(last.rate_permille) / 10.0,
+            last.mapped,
+            last.points
+        ),
+        format!(
+            "the cost is throughput, not correctness: {}x mean slowdown at 25% \
+             dead switches, roughly tracking the lost compute (yield {:.1}%)",
+            fmt_f64(last.slowdown, 2),
+            last.fabric_yield * 100.0
+        ),
+        "wedged or crashing points are contained by the runtime's retry/timeout \
+         supervision and reported as failed jobs, never a hung batch"
+            .to_owned(),
+    ]);
+}

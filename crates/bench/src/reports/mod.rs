@@ -9,6 +9,7 @@
 
 pub mod ablations;
 pub mod energy;
+pub mod fault_sweep;
 pub mod figure11;
 pub mod figure12;
 pub mod figure13;
@@ -34,6 +35,7 @@ pub const REPORTS: &[(&str, fn())] = &[
     ("headline", headline::run),
     ("ablations", ablations::run),
     ("energy", energy::run),
+    ("fault_sweep", fault_sweep::run),
 ];
 
 #[cfg(test)]
@@ -42,7 +44,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(REPORTS.len(), 12);
+        assert_eq!(REPORTS.len(), 13);
         let mut names: Vec<&str> = REPORTS.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();

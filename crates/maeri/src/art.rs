@@ -17,13 +17,14 @@
 //! non-blocking (Property 2); thinner links (e.g. the 0.25x
 //! configuration of Figure 13) yield a proportional slowdown.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use maeri_noc::topology::NodeId;
 use maeri_noc::{BinaryTree, ChubbyTree};
 use maeri_sim::{Result, SimError};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::FaultPlan;
 use crate::switch::AdderMode;
 
 /// A virtual neuron: a contiguous run of multiplier-switch leaves.
@@ -122,6 +123,10 @@ pub struct ArtConfig {
     fl_activations: Vec<FlActivation>,
     /// Flow count per up-link, keyed by the child node of the link.
     edge_loads: BTreeMap<NodeId, u32>,
+    /// Severed forwarding links as `(level, boundary)` keys; the
+    /// construction walk climbs through the parent instead of using
+    /// these.
+    dead_fls: BTreeSet<(usize, usize)>,
 }
 
 impl ArtConfig {
@@ -136,9 +141,33 @@ impl ArtConfig {
     /// Returns [`SimError::Unmappable`] when ranges overlap or fall
     /// outside the tree, and propagates invalid-config errors.
     pub fn build(chubby: ChubbyTree, vns: &[VnRange]) -> Result<Self> {
+        Self::build_with_faults(chubby, vns, None)
+    }
+
+    /// Like [`Self::build`], but over a degraded fabric: ranges must
+    /// avoid dead multiplier leaves, and severed forwarding links are
+    /// never activated (the lone fragment climbs through its parent
+    /// instead).
+    ///
+    /// Dead adder switches need no special handling here: a dead adder
+    /// marks its entire leaf subtree dead in the [`FaultPlan`], so a
+    /// valid range can never route a fragment through one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unmappable`] when ranges overlap, fall
+    /// outside the tree, or cover a faulty leaf.
+    pub fn build_with_faults(
+        chubby: ChubbyTree,
+        vns: &[VnRange],
+        faults: Option<&FaultPlan>,
+    ) -> Result<Self> {
         let tree = *chubby.tree();
         let leaves = tree.num_leaves();
-        // Validate: in range and pairwise disjoint.
+        if let Some(plan) = faults {
+            debug_assert_eq!(plan.num_leaves(), leaves, "fault plan / tree mismatch");
+        }
+        // Validate: in range, pairwise disjoint, and on healthy leaves.
         let mut sorted: Vec<(usize, &VnRange)> = vns.iter().enumerate().collect();
         sorted.sort_by_key(|(_, r)| r.start);
         let mut prev_end = 0usize;
@@ -158,6 +187,15 @@ impl ArtConfig {
                 )));
             }
             prev_end = range.end();
+            if let Some(plan) = faults {
+                if let Some(dead) = (range.start..range.end()).find(|&l| plan.is_leaf_dead(l)) {
+                    return Err(SimError::unmappable(format!(
+                        "virtual neuron {}..{} covers faulty multiplier switch {dead}",
+                        range.start,
+                        range.end()
+                    )));
+                }
+            }
         }
 
         let mut config = ArtConfig {
@@ -169,6 +207,7 @@ impl ArtConfig {
             node_uses: vec![NodeUse::default(); tree.num_internal()],
             fl_activations: Vec::new(),
             edge_loads: BTreeMap::new(),
+            dead_fls: faults.map(|p| p.dead_links().clone()).unwrap_or_default(),
         };
         for (vn_idx, range) in vns.iter().enumerate() {
             config.construct_vn(vn_idx, range)?;
@@ -276,6 +315,11 @@ impl ArtConfig {
             // Step 1: direction from the smaller span to the larger.
             // Span = fragments on each side of the FL boundary.
             let boundary = pos.min(partner);
+            // A severed link is never activated: the fragment climbs
+            // through its parent instead (graceful degradation).
+            if self.dead_fls.contains(&(level, boundary)) {
+                continue;
+            }
             let left_span = frag_list
                 .iter()
                 .filter(|&&p| p <= boundary && !removed.contains(&p))
@@ -545,6 +589,53 @@ pub fn pack_vns(leaves: usize, sizes: &[usize]) -> (Vec<VnRange>, Vec<usize>) {
     (ranges, overflow)
 }
 
+/// Packs VNs of the given sizes left to right into disjoint, ascending
+/// healthy `spans` (see [`crate::fault::FaultPlan::healthy_spans`]),
+/// returning the ranges that fit and the sizes that did not. A VN never
+/// straddles a span boundary — it must sit on contiguous healthy
+/// leaves.
+///
+/// Over a single span covering the whole array this is exactly
+/// [`pack_vns`], so fault-free mappings are unchanged.
+#[must_use]
+pub fn pack_vns_into_spans(spans: &[VnRange], sizes: &[usize]) -> (Vec<VnRange>, Vec<usize>) {
+    let mut ranges = Vec::new();
+    let mut overflow = Vec::new();
+    let mut span_idx = 0usize;
+    let mut cursor = spans.first().map_or(0, |s| s.start);
+    for &size in sizes {
+        if size == 0 {
+            continue;
+        }
+        // Look ahead for the first span position that fits; commit the
+        // cursor only on success so later, smaller sizes can still be
+        // placed (mirrors pack_vns's overflow behavior).
+        let mut si = span_idx;
+        let mut placed = None;
+        while let Some(span) = spans.get(si) {
+            let at = if si == span_idx {
+                cursor.max(span.start)
+            } else {
+                span.start
+            };
+            if at + size <= span.end() {
+                placed = Some((si, at));
+                break;
+            }
+            si += 1;
+        }
+        match placed {
+            Some((si, at)) => {
+                ranges.push(VnRange::new(at, size));
+                span_idx = si;
+                cursor = at + size;
+            }
+            None => overflow.push(size),
+        }
+    }
+    (ranges, overflow)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -700,6 +791,101 @@ mod tests {
         assert!(overflow.is_empty());
         assert_eq!(ranges[0], VnRange::new(0, 3));
         assert_eq!(ranges[1], VnRange::new(3, 5));
+    }
+
+    #[test]
+    fn pack_into_spans_matches_pack_vns_on_full_span() {
+        let sizes = [3usize, 7, 1, 12, 9, 2, 16, 4, 30];
+        let full = [VnRange::new(0, 64)];
+        assert_eq!(pack_vns_into_spans(&full, &sizes), pack_vns(64, &sizes));
+        let tight = [VnRange::new(0, 16)];
+        assert_eq!(
+            pack_vns_into_spans(&tight, &[10, 5, 4, 0, 1]),
+            pack_vns(16, &[10, 5, 4, 0, 1])
+        );
+    }
+
+    #[test]
+    fn pack_into_spans_skips_dead_gaps() {
+        // Healthy spans 0..6 and 8..16 (leaves 6 and 7 dead).
+        let spans = [VnRange::new(0, 6), VnRange::new(8, 8)];
+        let (ranges, overflow) = pack_vns_into_spans(&spans, &[4, 4, 4]);
+        assert!(overflow.is_empty());
+        // The second VN cannot straddle the dead gap at 6..8, so it
+        // hops to the next healthy span.
+        assert_eq!(
+            ranges,
+            vec![VnRange::new(0, 4), VnRange::new(8, 4), VnRange::new(12, 4)]
+        );
+        // A fourth VN of 4 no longer fits anywhere.
+        let (ranges, overflow) = pack_vns_into_spans(&spans, &[4, 4, 4, 4]);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(overflow, vec![4]);
+    }
+
+    #[test]
+    fn pack_into_spans_overflow_leaves_cursor_for_smaller_vns() {
+        // A 7-wide VN fits nowhere, but the 2-wide one after it still
+        // lands in the remaining space of the first span.
+        let spans = [VnRange::new(0, 3), VnRange::new(5, 3)];
+        let (ranges, overflow) = pack_vns_into_spans(&spans, &[2, 7, 2]);
+        assert_eq!(overflow, vec![7]);
+        assert_eq!(ranges, vec![VnRange::new(0, 2), VnRange::new(5, 2)]);
+    }
+
+    #[test]
+    fn faulty_build_rejects_vn_over_dead_leaf() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        let spec = FaultSpec::new(7).dead_multipliers(200);
+        let plan = FaultPlan::materialize(spec, 16);
+        let dead = *plan.dead_leaves().iter().next().unwrap();
+        let err =
+            ArtConfig::build_with_faults(chubby(16, 8), &[VnRange::new(dead, 1)], Some(&plan))
+                .unwrap_err();
+        assert!(err.to_string().contains("faulty multiplier"), "{err}");
+    }
+
+    #[test]
+    fn faulty_build_sums_correctly_on_healthy_spans() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        // Kill links too: the ART must still reduce every healthy VN
+        // exactly, climbing through parents where laterals are severed.
+        let spec = FaultSpec::new(11)
+            .dead_multipliers(150)
+            .dead_forwarding_links(300);
+        let plan = FaultPlan::materialize(spec, 64);
+        let spans = plan.healthy_spans();
+        assert!(!spans.is_empty());
+        let sizes: Vec<usize> = spans.iter().map(|s| s.len).collect();
+        let (ranges, overflow) = pack_vns_into_spans(&spans, &sizes);
+        assert!(overflow.is_empty());
+        let cfg = ArtConfig::build_with_faults(chubby(64, 8), &ranges, Some(&plan)).unwrap();
+        let values = leaf_values(64);
+        let sums = cfg.reduce(&values);
+        for (range, sum) in ranges.iter().zip(&sums) {
+            assert!(
+                (sum - direct_sum(range, &values)).abs() < 1e-3,
+                "vn {}..{}: got {sum}",
+                range.start,
+                range.end()
+            );
+        }
+    }
+
+    #[test]
+    fn dead_forwarding_link_is_never_activated() {
+        use crate::fault::{FaultPlan, FaultSpec};
+        // A VN straddling the center of a 16-leaf tree normally uses
+        // forwarding links; with every link dead it must still sum
+        // correctly and activate none.
+        let spec = FaultSpec::new(3).dead_forwarding_links(1000);
+        let plan = FaultPlan::materialize(spec, 16);
+        let range = VnRange::new(5, 6);
+        let cfg = ArtConfig::build_with_faults(chubby(16, 8), &[range], Some(&plan)).unwrap();
+        assert!(cfg.forwarding_links().is_empty());
+        let values = leaf_values(16);
+        let sums = cfg.reduce(&values);
+        assert!((sums[0] - direct_sum(&range, &values)).abs() < 1e-3);
     }
 
     #[test]

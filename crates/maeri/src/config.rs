@@ -5,6 +5,10 @@ use maeri_sim::util::is_pow2;
 use maeri_sim::{Result, SimError};
 use serde::{Deserialize, Serialize};
 
+use crate::art::VnRange;
+use crate::dist::Distributor;
+use crate::fault::{FaultPlan, FaultSpec};
+
 /// Configuration of one MAERI instance.
 ///
 /// Mirrors the knobs of the paper's implementation (Section 5): the
@@ -30,6 +34,7 @@ pub struct MaeriConfig {
     dist_bandwidth: usize,
     collect_bandwidth: usize,
     ms_local_buffers: usize,
+    faults: Option<FaultSpec>,
 }
 
 impl MaeriConfig {
@@ -41,6 +46,7 @@ impl MaeriConfig {
             dist_bandwidth: 8,
             collect_bandwidth: 8,
             ms_local_buffers: 4,
+            faults: None,
         }
     }
 
@@ -104,6 +110,67 @@ impl MaeriConfig {
     pub fn art_depth(&self) -> usize {
         maeri_sim::util::log2(self.num_mult_switches) as usize
     }
+
+    /// The injected fault description, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<FaultSpec> {
+        self.faults
+    }
+
+    /// Materializes the fault plan for this fabric, if faults are
+    /// configured. The plan is a pure function of the spec and the
+    /// fabric size, so repeated calls agree.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.faults
+            .map(|spec| FaultPlan::materialize(spec, self.num_mult_switches))
+    }
+
+    /// Maximal contiguous runs of healthy multiplier leaves. Without
+    /// faults this is the whole array; the mappers pack virtual neurons
+    /// into these spans.
+    #[must_use]
+    pub fn healthy_spans(&self) -> Vec<VnRange> {
+        match self.fault_plan() {
+            Some(plan) => plan.healthy_spans(),
+            None => vec![VnRange::new(0, self.num_mult_switches)],
+        }
+    }
+
+    /// The distribution-tree cost model for this fabric, derated by the
+    /// configured flit drop/delay faults when present.
+    #[must_use]
+    pub fn distributor(&self) -> Distributor {
+        match self.faults {
+            Some(spec) => Distributor::degraded(
+                self.distribution_chubby(),
+                spec.flit_drop_permille,
+                spec.flit_delay_cycles,
+            ),
+            None => Distributor::new(self.distribution_chubby()),
+        }
+    }
+
+    /// Validates a virtual-neuron size against the array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when `vn_size` is zero or
+    /// exceeds the multiplier count.
+    pub fn validate_vn_size(&self, vn_size: usize) -> Result<()> {
+        if vn_size == 0 {
+            return Err(SimError::invalid_config(
+                "virtual neuron size must be at least one multiplier switch",
+            ));
+        }
+        if vn_size > self.num_mult_switches {
+            return Err(SimError::invalid_config(format!(
+                "virtual neuron size {vn_size} exceeds the {} multiplier switches",
+                self.num_mult_switches
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// Builder for [`MaeriConfig`].
@@ -113,6 +180,7 @@ pub struct MaeriConfigBuilder {
     dist_bandwidth: usize,
     collect_bandwidth: usize,
     ms_local_buffers: usize,
+    faults: Option<FaultSpec>,
 }
 
 impl MaeriConfigBuilder {
@@ -137,13 +205,21 @@ impl MaeriConfigBuilder {
         self
     }
 
+    /// Injects a deterministic fault description into the fabric.
+    #[must_use]
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] when the multiplier count is
-    /// not a power of two >= 4, a bandwidth is not a power of two within
-    /// the leaf count, or the buffer depth is zero.
+    /// not a power of two >= 4, a bandwidth is zero or not a power of
+    /// two within the leaf count, the buffer depth is zero, or a fault
+    /// rate is out of range.
     pub fn build(self) -> Result<MaeriConfig> {
         if !is_pow2(self.num_mult_switches) || self.num_mult_switches < 4 {
             return Err(SimError::invalid_config(format!(
@@ -155,6 +231,11 @@ impl MaeriConfigBuilder {
             ("distribution", self.dist_bandwidth),
             ("collection", self.collect_bandwidth),
         ] {
+            if bw == 0 {
+                return Err(SimError::invalid_config(format!(
+                    "{label} bandwidth must be nonzero (a zero-width link moves no words)"
+                )));
+            }
             if !is_pow2(bw) || bw > self.num_mult_switches {
                 return Err(SimError::invalid_config(format!(
                     "{label} bandwidth must be a power of two <= {}, got {bw}",
@@ -167,11 +248,15 @@ impl MaeriConfigBuilder {
                 "multiplier switches need at least one local buffer slot",
             ));
         }
+        if let Some(spec) = self.faults {
+            spec.validate()?;
+        }
         Ok(MaeriConfig {
             num_mult_switches: self.num_mult_switches,
             dist_bandwidth: self.dist_bandwidth,
             collect_bandwidth: self.collect_bandwidth,
             ms_local_buffers: self.ms_local_buffers,
+            faults: self.faults,
         })
     }
 }
@@ -221,6 +306,75 @@ mod tests {
             .ms_local_buffers(0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn zero_bandwidth_rejected_with_specific_message() {
+        let err = MaeriConfig::builder(64)
+            .distribution_bandwidth(0)
+            .build()
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("distribution bandwidth must be nonzero"),
+            "{err}"
+        );
+        let err = MaeriConfig::builder(64)
+            .collection_bandwidth(0)
+            .build()
+            .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("collection bandwidth must be nonzero"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn vn_size_validation() {
+        let cfg = MaeriConfig::paper_64();
+        assert!(cfg.validate_vn_size(1).is_ok());
+        assert!(cfg.validate_vn_size(64).is_ok());
+        let err = cfg.validate_vn_size(65).unwrap_err();
+        assert!(
+            err.to_string().contains("exceeds the 64 multiplier"),
+            "{err}"
+        );
+        let err = cfg.validate_vn_size(0).unwrap_err();
+        assert!(err.to_string().contains("at least one"), "{err}");
+    }
+
+    #[test]
+    fn fault_spec_rides_the_config() {
+        let spec = FaultSpec::new(42).dead_multipliers(250);
+        let cfg = MaeriConfig::builder(64).faults(spec).build().unwrap();
+        assert_eq!(cfg.faults(), Some(spec));
+        let plan = cfg.fault_plan().unwrap();
+        assert_eq!(plan.dead_leaves().len(), 16);
+        let spans = cfg.healthy_spans();
+        assert_eq!(spans.iter().map(|s| s.len).sum::<usize>(), 48);
+        // Fault-free configs expose the whole array as one span.
+        assert_eq!(
+            MaeriConfig::paper_64().healthy_spans(),
+            vec![VnRange::new(0, 64)]
+        );
+        assert!(MaeriConfig::paper_64().fault_plan().is_none());
+    }
+
+    #[test]
+    fn invalid_fault_rates_rejected_at_build() {
+        assert!(MaeriConfig::builder(64)
+            .faults(FaultSpec::new(0).dead_multipliers(1001))
+            .build()
+            .is_err());
+        assert!(MaeriConfig::builder(64)
+            .faults(FaultSpec::new(0).flit_drops(1000))
+            .build()
+            .is_err());
+        assert!(MaeriConfig::builder(64)
+            .faults(FaultSpec::new(0).flit_drops(500).flit_delay(3))
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //! the cycles went. Tests assert the trace agrees with the analytic
 //! steady-state rate used by [`crate::mapper::conv::ConvMapper`].
 
-use maeri_sim::{Cycle, Result, SimError, Stats};
+use maeri_sim::{Cycle, Result, SimError, SimRng, Stats};
 use serde::{Deserialize, Serialize};
 
-use crate::art::{pack_vns, ArtConfig};
+use crate::art::{pack_vns_into_spans, ArtConfig};
 use crate::MaeriConfig;
+
+/// Salt folded into the fault seed so the flit-loss stream is
+/// independent of the stream that placed the dead switches.
+const FLIT_STREAM_SALT: u64 = 0x464c_4954; // "FLIT"
 
 /// Outcome of a clocked iteration.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -80,6 +84,9 @@ pub fn simulate_conv_iteration(
     if lanes.is_empty() || steps == 0 {
         return Err(SimError::unmappable("nothing to simulate"));
     }
+    for lane in lanes {
+        cfg.validate_vn_size(lane.vn_size)?;
+    }
     let total: usize = lanes.iter().map(|l| l.vn_size).sum();
     let n = cfg.num_mult_switches();
     if total > n {
@@ -88,11 +95,34 @@ pub fn simulate_conv_iteration(
         )));
     }
     // Build the real ART configuration so the trace honors the same
-    // structure the mapper verified.
+    // structure the mapper verified; lanes land on healthy spans only.
+    let spans = cfg.healthy_spans();
     let sizes: Vec<usize> = lanes.iter().map(|l| l.vn_size).collect();
-    let (ranges, overflow) = pack_vns(n, &sizes);
-    debug_assert!(overflow.is_empty());
-    let art = ArtConfig::build(cfg.collection_chubby(), &ranges)?;
+    let (ranges, overflow) = pack_vns_into_spans(&spans, &sizes);
+    if !overflow.is_empty() {
+        return Err(SimError::unmappable(format!(
+            "lanes need {total} switches on contiguous healthy spans, \
+             only {} healthy switches remain",
+            spans.iter().map(|s| s.len).sum::<usize>()
+        )));
+    }
+    let fault_plan = cfg.fault_plan();
+    let art = ArtConfig::build_with_faults(cfg.collection_chubby(), &ranges, fault_plan.as_ref())?;
+
+    // Flit faults on the distribution tree: a seeded stream decides
+    // which injections are lost (and retransmitted), and every
+    // completed input set waits out the rerouting delay. With a quiet
+    // or absent fault spec the RNG is never consulted, keeping the
+    // clean trace bit-identical to the pre-fault model.
+    let (flit_drop_p, flit_delay) = cfg.faults().map_or((0.0, 0u64), |spec| {
+        (
+            f64::from(spec.flit_drop_permille) / f64::from(crate::fault::PERMILLE),
+            u64::from(spec.flit_delay_cycles),
+        )
+    });
+    let mut flit_rng = cfg
+        .faults()
+        .map(|spec| SimRng::seed(spec.seed ^ FLIT_STREAM_SALT));
 
     // Per-lane distribution demand per step: unique words = shared
     // multicast words (counted once across all lanes) + private words.
@@ -124,6 +154,9 @@ pub fn simulate_conv_iteration(
     let mut fired: Vec<u64> = vec![0; lanes.len()];
     let mut sets_delivered: Vec<u64> = vec![0; lanes.len()];
     let mut in_flight: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    // Sets whose words arrived but whose rerouting delay has not yet
+    // elapsed: (ready_cycle, lane).
+    let mut pending: std::collections::VecDeque<(u64, usize)> = std::collections::VecDeque::new();
     let mut collected = 0u64;
     let target = steps * lanes.len() as u64;
 
@@ -136,10 +169,14 @@ pub fn simulate_conv_iteration(
         extra: Stats::new(),
     };
     let mut cycle = 0u64;
-    // Generous bound: everything serialized through a 1-wide port.
-    let bound = (target + 4)
+    // Generous bound: everything serialized through a 1-wide port,
+    // inflated by twice the expected flit-retransmission factor plus
+    // the full rerouting delay of every set.
+    let serial = (target + 4)
         * (1 + shared as u64 + private_per_lane.iter().sum::<u64>() + pipeline_depth)
         + 1024;
+    let drop_permille = cfg.faults().map_or(0, |s| u64::from(s.flit_drop_permille));
+    let bound = serial * 2000 / (1000 - drop_permille) + flit_delay * (target + 4);
     while collected < target {
         cycle += 1;
         if cycle > bound {
@@ -160,6 +197,15 @@ pub fn simulate_conv_iteration(
                 }
                 _ => break,
             }
+        }
+
+        // --- Rerouted sets whose delay elapsed become buffered waves.
+        while let Some(&(ready, lane)) = pending.front() {
+            if ready > cycle {
+                break;
+            }
+            pending.pop_front();
+            buffered[lane] += 1;
         }
 
         // --- Distribution: issue up to dist_bw words, word-accurate.
@@ -189,32 +235,49 @@ pub fn simulate_conv_iteration(
             }
             let before = budget;
             while budget > 0 {
-                if (0..lanes.len()).any(|l| set_open[l] && owed_shared[l] > 0) {
+                let wants_shared = (0..lanes.len()).any(|l| set_open[l] && owed_shared[l] > 0);
+                let private_lane = if wants_shared {
+                    None
+                } else {
+                    (0..lanes.len()).find(|&l| set_open[l] && owed_private[l] > 0)
+                };
+                if !wants_shared && private_lane.is_none() {
+                    break;
+                }
+                // A lost flit burns the injection slot and is
+                // retransmitted later (the owed counters stay put).
+                if let Some(rng) = flit_rng.as_mut() {
+                    if flit_drop_p > 0.0 && rng.next_bool(flit_drop_p) {
+                        budget -= 1;
+                        stats.extra.add("flits_dropped", 1);
+                        continue;
+                    }
+                }
+                if wants_shared {
                     // One multicast word serves every lane still owed it.
                     for lane in 0..lanes.len() {
                         if set_open[lane] && owed_shared[lane] > 0 {
                             owed_shared[lane] -= 1;
                         }
                     }
-                    budget -= 1;
-                    stats.extra.add("words_issued", 1);
-                } else if let Some(lane) =
-                    (0..lanes.len()).find(|&l| set_open[l] && owed_private[l] > 0)
-                {
+                } else if let Some(lane) = private_lane {
                     owed_private[lane] -= 1;
-                    budget -= 1;
-                    stats.extra.add("words_issued", 1);
-                } else {
-                    break;
                 }
+                budget -= 1;
+                stats.extra.add("words_issued", 1);
             }
-            // Sets whose words all arrived become buffered waves.
+            // Sets whose words all arrived become buffered waves — or
+            // wait out the rerouting delay on a degraded tree.
             let mut completed = false;
             for lane in 0..lanes.len() {
                 if set_open[lane] && owed_shared[lane] == 0 && owed_private[lane] == 0 {
                     set_open[lane] = false;
                     sets_delivered[lane] += 1;
-                    buffered[lane] += 1;
+                    if flit_delay == 0 {
+                        buffered[lane] += 1;
+                    } else {
+                        pending.push_back((cycle + flit_delay, lane));
+                    }
                     completed = true;
                 }
             }
@@ -281,7 +344,6 @@ pub fn simulate_conv_layer(
     layer: &maeri_dnn::ConvLayer,
     policy: crate::mapper::VnPolicy,
 ) -> Result<TraceStats> {
-    use crate::dist::Distributor;
     let mapper = crate::mapper::ConvMapper::new(*cfg);
     let plan = mapper.plan(layer, policy)?;
     // Per-step fresh inputs, mirroring the cost model.
@@ -301,7 +363,7 @@ pub fn simulate_conv_layer(
     ];
     let steps = layer.out_w() as u64;
     let one_iteration = simulate_conv_iteration(cfg, &lanes, steps, fresh)?;
-    let dist = Distributor::new(cfg.distribution_chubby());
+    let dist = cfg.distributor();
     let weight_cycles = dist.multicast_cycles(layer.weight_count() as u64).as_u64();
     let mut total = one_iteration.clone();
     // Back-to-back iterations overlap in the ART pipeline: only the

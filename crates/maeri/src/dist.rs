@@ -34,13 +34,38 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Distributor {
     chubby: ChubbyTree,
+    drop_permille: u16,
+    delay_cycles: u16,
 }
 
 impl Distributor {
     /// Creates a distributor over the given chubby profile.
     #[must_use]
     pub fn new(chubby: ChubbyTree) -> Self {
-        Distributor { chubby }
+        Distributor::degraded(chubby, 0, 0)
+    }
+
+    /// Creates a distributor over a faulty tree: a `drop_permille`
+    /// fraction of flits is lost and must be retransmitted (modeled in
+    /// expectation, deterministically), and every delivery pays an
+    /// extra `delay_cycles` of rerouting latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_permille >= 1000` — a tree that drops every flit
+    /// delivers nothing (callers validate via
+    /// [`crate::fault::FaultSpec::validate`]).
+    #[must_use]
+    pub fn degraded(chubby: ChubbyTree, drop_permille: u16, delay_cycles: u16) -> Self {
+        assert!(
+            drop_permille < 1000,
+            "a distribution tree dropping every flit delivers nothing"
+        );
+        Distributor {
+            chubby,
+            drop_permille,
+            delay_cycles,
+        }
     }
 
     /// Words per cycle at the prefetch buffer.
@@ -49,18 +74,31 @@ impl Distributor {
         self.chubby.root_bandwidth()
     }
 
+    /// Inflates a delivery by the expected retransmission overhead of
+    /// dropped flits, plus the fixed rerouting delay. Zero-cycle
+    /// deliveries stay free.
+    fn derate(&self, cycles: u64) -> u64 {
+        if cycles == 0 {
+            return 0;
+        }
+        let resent = ceil_div(cycles * 1000, 1000 - u64::from(self.drop_permille));
+        resent + u64::from(self.delay_cycles)
+    }
+
     /// Cycles to deliver `unique_words` distinct values when the most
     /// heavily loaded multiplier switch receives `max_per_leaf` of them.
     ///
     /// Both limits apply: the root can inject only `bandwidth()` words
-    /// per cycle, and each leaf FIFO accepts one word per cycle.
+    /// per cycle, and each leaf FIFO accepts one word per cycle. On a
+    /// degraded tree ([`Distributor::degraded`]) the total is further
+    /// inflated by retransmissions and rerouting delay.
     #[must_use]
     pub fn delivery_cycles(&self, unique_words: u64, max_per_leaf: u64) -> Cycle {
         if unique_words == 0 {
             return Cycle::ZERO;
         }
         let by_root = ceil_div(unique_words, self.bandwidth() as u64);
-        Cycle::new(by_root.max(max_per_leaf))
+        Cycle::new(self.derate(by_root.max(max_per_leaf)))
     }
 
     /// Cycles for a multicast round: `unique_words` distinct values,
@@ -126,5 +164,32 @@ mod tests {
         let narrow = dist(2).multicast_cycles(56).as_u64();
         assert_eq!(wide, 7);
         assert_eq!(narrow, 28);
+    }
+
+    #[test]
+    fn degraded_tree_pays_retransmission_and_delay() {
+        let cfg = MaeriConfig::builder(64)
+            .distribution_bandwidth(8)
+            .build()
+            .unwrap();
+        let clean = Distributor::new(cfg.distribution_chubby());
+        // 10% drops: 8 cycles of traffic -> ceil(8000/900) = 9, +2 delay.
+        let flaky = Distributor::degraded(cfg.distribution_chubby(), 100, 2);
+        assert_eq!(clean.delivery_cycles(64, 1).as_u64(), 8);
+        assert_eq!(flaky.delivery_cycles(64, 1).as_u64(), 11);
+        // Zero traffic stays free even with a rerouting delay.
+        assert_eq!(flaky.delivery_cycles(0, 0).as_u64(), 0);
+        // A zero-rate degraded tree is exactly the clean one.
+        assert_eq!(
+            Distributor::degraded(cfg.distribution_chubby(), 0, 0),
+            clean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "delivers nothing")]
+    fn total_drop_rate_rejected() {
+        let cfg = MaeriConfig::builder(64).build().unwrap();
+        let _ = Distributor::degraded(cfg.distribution_chubby(), 1000, 0);
     }
 }

@@ -11,7 +11,8 @@
 use maeri_dnn::{ConvLayer, FcLayer, PoolLayer, Tensor};
 use maeri_sim::{Result, SimError};
 
-use crate::art::{pack_vns, ArtConfig, VnRange};
+use crate::art::{pack_vns_into_spans, ArtConfig, VnRange};
+use crate::mapper::span_capacity;
 use crate::switch::MultSwitch;
 use crate::MaeriConfig;
 
@@ -52,21 +53,29 @@ pub fn run_conv(
         "weight shape mismatch"
     );
     let n = cfg.num_mult_switches();
+    let spans = cfg.healthy_spans();
+    let (cap, _) = span_capacity(&spans)?;
+    let fault_plan = cfg.fault_plan();
     let rs = layer.kernel_h * layer.kernel_w;
-    if rs > n {
+    if rs > cap {
         return Err(SimError::unmappable(format!(
-            "one channel slice needs {rs} multipliers, array has {n}"
+            "one channel slice needs {rs} multipliers, largest healthy span has {cap}"
         )));
     }
-    // Channels per VN: as many as fit.
-    let ct = (n / rs).min(layer.in_channels).max(1);
+    // Channels per VN: as many as fit in one healthy span.
+    let ct = (cap / rs).min(layer.in_channels).max(1);
     let segments = layer.in_channels.div_ceil(ct);
     let (p, q) = (layer.out_h(), layer.out_w());
     let mut out = Tensor::zeros(&[layer.out_channels, p, q]);
 
     // Lanes per filter batch: sized for the widest (first) segment so
-    // every segment of a batch covers the same filters.
-    let batch_lanes = (n / (rs * ct)).max(1);
+    // every segment of a batch covers the same filters. Each span
+    // hosts whole VNs only — a VN never straddles a dead switch.
+    let batch_lanes = spans
+        .iter()
+        .map(|s| s.len / (rs * ct))
+        .sum::<usize>()
+        .max(1);
     let mut k0 = 0usize;
     while k0 < layer.out_channels {
         let lanes = batch_lanes.min(layer.out_channels - k0);
@@ -74,8 +83,13 @@ pub fn run_conv(
             let c_lo = seg * ct;
             let c_hi = ((seg + 1) * ct).min(layer.in_channels);
             let vn_size = rs * (c_hi - c_lo);
-            let (ranges, _) = pack_vns(n, &vec![vn_size; lanes]);
-            let art = ArtConfig::build(cfg.collection_chubby(), &ranges)?;
+            let (ranges, _) = pack_vns_into_spans(&spans, &vec![vn_size; lanes]);
+            debug_assert_eq!(ranges.len(), lanes, "lane budget must pack");
+            let art = ArtConfig::build_with_faults(
+                cfg.collection_chubby(),
+                &ranges,
+                fault_plan.as_ref(),
+            )?;
 
             // Weight-stationary loading: VN leaf order is (c, r, s),
             // matching the software reference accumulation order.
@@ -167,15 +181,19 @@ pub fn run_pool(cfg: &MaeriConfig, layer: &PoolLayer, input: &Tensor) -> Result<
         "input shape mismatch"
     );
     let n = cfg.num_mult_switches();
+    let spans = cfg.healthy_spans();
+    let (cap, _) = span_capacity(&spans)?;
     let window = layer.window * layer.window;
-    if window > n {
+    if window > cap {
         return Err(SimError::unmappable(format!(
-            "pooling window needs {window} switches, array has {n}"
+            "pooling window needs {window} switches, largest healthy span has {cap}"
         )));
     }
-    let lanes = n / window;
-    let (ranges, _) = pack_vns(n, &vec![window; lanes]);
-    let art = ArtConfig::build(cfg.collection_chubby(), &ranges)?;
+    let want: usize = spans.iter().map(|s| s.len / window).sum();
+    let (ranges, _) = pack_vns_into_spans(&spans, &vec![window; want.max(1)]);
+    let lanes = ranges.len();
+    let art =
+        ArtConfig::build_with_faults(cfg.collection_chubby(), &ranges, cfg.fault_plan().as_ref())?;
     let (p, q) = (layer.out_h(), layer.out_w());
     let mut out = Tensor::zeros(&[layer.channels, p, q]);
     // Enumerate outputs in lane-sized batches.
@@ -223,20 +241,29 @@ pub fn run_fc(
         "weight shape mismatch"
     );
     let n = cfg.num_mult_switches();
-    let seg_len = n.min(layer.inputs);
+    let spans = cfg.healthy_spans();
+    let (cap, _) = span_capacity(&spans)?;
+    let fault_plan = cfg.fault_plan();
+    // The single folded VN lives on the largest healthy span.
+    let base = spans.iter().max_by_key(|s| s.len).map_or(0, |s| s.start);
+    let seg_len = cap.min(layer.inputs);
     let segments = layer.inputs.div_ceil(seg_len);
     let mut out = vec![0.0f32; layer.outputs];
     for (o, out_val) in out.iter_mut().enumerate() {
         for seg in 0..segments {
             let lo = seg * seg_len;
             let hi = ((seg + 1) * seg_len).min(layer.inputs);
-            let art = ArtConfig::build(cfg.collection_chubby(), &[VnRange::new(0, hi - lo)])?;
+            let art = ArtConfig::build_with_faults(
+                cfg.collection_chubby(),
+                &[VnRange::new(base, hi - lo)],
+                fault_plan.as_ref(),
+            )?;
             let mut leaf_values = vec![0.0f32; n];
             for (leaf, i) in (lo..hi).enumerate() {
                 let mut ms = MultSwitch::new(1);
                 ms.load_weight(weights.get(&[o, i]));
                 ms.push_input(input[i]).expect("fresh FIFO");
-                leaf_values[leaf] = ms.fire().expect("weight loaded");
+                leaf_values[base + leaf] = ms.fire().expect("weight loaded");
             }
             *out_val += art.reduce(&leaf_values)[0];
         }
@@ -293,9 +320,17 @@ pub fn run_lstm_step(
     // Phase 2: reconstructed 2-leaf VNs compute f*s_prev + i*t per
     // neuron; the output gate multiplies through a lone switch.
     let n = cfg.num_mult_switches();
-    let state_lanes = n / 2;
-    let (ranges, _) = pack_vns(n, &vec![2usize; state_lanes]);
-    let art = ArtConfig::build(cfg.collection_chubby(), &ranges)?;
+    let spans = cfg.healthy_spans();
+    let (cap, budget) = span_capacity(&spans)?;
+    if cap < 2 {
+        return Err(SimError::unmappable(
+            "LSTM state VNs need two adjacent healthy multiplier switches",
+        ));
+    }
+    let (ranges, _) = pack_vns_into_spans(&spans, &vec![2usize; (budget / 2).max(1)]);
+    let state_lanes = ranges.len();
+    let art =
+        ArtConfig::build_with_faults(cfg.collection_chubby(), &ranges, cfg.fault_plan().as_ref())?;
     let mut cell = vec![0.0f32; layer.hidden_dim];
     for chunk_start in (0..layer.hidden_dim).step_by(state_lanes) {
         let chunk_end = (chunk_start + state_lanes).min(layer.hidden_dim);

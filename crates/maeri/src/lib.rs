@@ -20,7 +20,11 @@
 //! [`engine::RunStats`] with cycles, utilization, and SRAM traffic.
 //! The [`functional`] module executes layers value-by-value through the
 //! switches and the ART, so the fabric's arithmetic is validated
-//! against the `maeri-dnn` software reference.
+//! against the `maeri-dnn` software reference. The [`fault`] module
+//! injects deterministic hard faults (dead multipliers, dead adders,
+//! severed forwarding links, flaky distribution links); the mappers
+//! carve virtual neurons around the dead regions so a degraded fabric
+//! keeps producing reference-exact outputs.
 //!
 //! # Quick start
 //!
@@ -53,6 +57,7 @@ pub mod controller;
 pub mod cycle_sim;
 pub mod dist;
 pub mod engine;
+pub mod fault;
 pub mod functional;
 pub mod mapper;
 pub mod switch;
@@ -61,6 +66,7 @@ pub mod viz;
 pub use art::{ArtConfig, VnRange};
 pub use config::{MaeriConfig, MaeriConfigBuilder};
 pub use engine::RunStats;
+pub use fault::{FaultPlan, FaultSpec};
 pub use mapper::{
     ConvMapper, CrossLayerMapper, FcMapper, FoldMode, LstmMapper, PoolMapper, SparseConvMapper,
     VnPolicy,

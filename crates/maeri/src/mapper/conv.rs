@@ -32,8 +32,8 @@ use maeri_sim::util::ceil_div;
 use maeri_sim::{Cycle, Result, SimError};
 use serde::{Deserialize, Serialize};
 
-use crate::art::{pack_vns, ArtConfig};
-use crate::dist::Distributor;
+use super::span_capacity;
+use crate::art::{pack_vns_into_spans, ArtConfig};
 use crate::engine::RunStats;
 use crate::MaeriConfig;
 
@@ -147,10 +147,19 @@ impl ConvMapper {
                 // utilization: wide tiles maximize multiplier coverage
                 // but inflate per-step input bandwidth (all `ct`
                 // channels refresh every window slide), so the best
-                // tile balances both.
+                // tile balances both. On a faulty fabric, tiles are
+                // sized against the largest healthy span (`cap`) and
+                // the total healthy budget instead of the full array.
+                let spans = self.cfg.healthy_spans();
+                let cap = spans.iter().map(|s| s.len).max().unwrap_or(0) as u64;
+                if cap == 0 {
+                    // Nothing maps; let plan() report the error.
+                    return Ok(1);
+                }
+                let budget: u64 = spans.iter().map(|s| s.len as u64).sum();
                 let mut best = (1usize, f64::MIN);
                 for ct in 1..=layer.in_channels {
-                    let score = self.estimate_utilization(layer, ct);
+                    let score = self.estimate_utilization(layer, ct, cap, budget);
                     if score > best.1 + 1e-12 {
                         best = (ct, score);
                     }
@@ -162,14 +171,16 @@ impl ConvMapper {
 
     /// Closed-form utilization estimate of a channel tile, mirroring
     /// [`Self::cost`] without building an ART (collection contention is
-    /// approximated as `num_vns / collect_bandwidth`).
-    fn estimate_utilization(&self, layer: &ConvLayer, ct: usize) -> f64 {
+    /// approximated as `num_vns / collect_bandwidth`). `cap` is the
+    /// largest contiguous healthy span and `budget` the total healthy
+    /// leaf count — both equal to `N` on a fault-free fabric.
+    fn estimate_utilization(&self, layer: &ConvLayer, ct: usize, cap: u64, budget: u64) -> f64 {
         let n = self.cfg.num_mult_switches() as u64;
         let rs = (layer.kernel_h * layer.kernel_w) as u64;
         let vn_weights = rs * ct as u64;
-        let subfold = ceil_div(vn_weights, n);
+        let subfold = ceil_div(vn_weights, cap);
         let vn_size = ceil_div(vn_weights, subfold);
-        let num_vns = (n / vn_size).max(1);
+        let num_vns = (budget / vn_size).max(1);
         let segments = ceil_div(layer.in_channels as u64, ct as u64);
         let row_units = layer.out_channels as u64 * layer.out_h() as u64 * segments * subfold;
         let iterations = ceil_div(row_units, num_vns);
@@ -195,18 +206,28 @@ impl ConvMapper {
     ///
     /// Propagates policy errors and ART construction failures.
     pub fn plan(&self, layer: &ConvLayer, policy: VnPolicy) -> Result<ConvPlan> {
-        let n = self.cfg.num_mult_switches();
+        let spans = self.cfg.healthy_spans();
+        let (cap, budget) = span_capacity(&spans)?;
         let ct = self.channel_tile(layer, policy)?;
         let rs = layer.kernel_h * layer.kernel_w;
         let vn_weights = rs * ct;
-        let subfold = ceil_div(vn_weights as u64, n as u64) as usize;
+        let subfold = ceil_div(vn_weights as u64, cap as u64) as usize;
         let vn_size = ceil_div(vn_weights as u64, subfold as u64) as usize;
-        let num_vns = (n / vn_size).max(1);
+        let want = (budget / vn_size).max(1);
         let segments = ceil_div(layer.in_channels as u64, ct as u64) as usize;
-        let sizes = vec![vn_size; num_vns];
-        let (ranges, overflow) = pack_vns(n, &sizes);
-        debug_assert!(overflow.is_empty(), "planned VNs must fit");
-        let art = ArtConfig::build(self.cfg.collection_chubby(), &ranges)?;
+        let sizes = vec![vn_size; want];
+        // Fragmentation may shrink the VN count below the healthy
+        // budget's ideal; at least one VN always fits in the largest
+        // span because vn_size <= cap.
+        let (ranges, _overflow) = pack_vns_into_spans(&spans, &sizes);
+        debug_assert!(!ranges.is_empty(), "vn_size <= cap must fit");
+        let num_vns = ranges.len();
+        let fault_plan = self.cfg.fault_plan();
+        let art = ArtConfig::build_with_faults(
+            self.cfg.collection_chubby(),
+            &ranges,
+            fault_plan.as_ref(),
+        )?;
         // Work units: one (filter, output row, segment, subfold pass).
         let row_units =
             layer.out_channels as u64 * layer.out_h() as u64 * (segments * subfold) as u64;
@@ -277,7 +298,7 @@ impl ConvMapper {
         }
         let plan = self.plan(layer, policy)?;
         let one = self.cost(layer, &plan);
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
         let weight_cycles = dist.multicast_cycles(layer.weight_count() as u64).as_u64();
         let per_image_stream = one.cycles.as_u64().saturating_sub(weight_cycles);
         let mut run = RunStats::new(
@@ -296,7 +317,7 @@ impl ConvMapper {
 
     /// Applies the cycle model to a plan.
     pub(crate) fn cost(&self, layer: &ConvLayer, plan: &ConvPlan) -> RunStats {
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
         let n = self.cfg.num_mult_switches();
         let q = layer.out_w() as u64;
         let (r, s) = (layer.kernel_h as u64, layer.kernel_w as u64);

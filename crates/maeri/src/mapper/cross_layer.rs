@@ -15,7 +15,6 @@ use maeri_dnn::ConvLayer;
 use maeri_sim::util::ceil_div;
 use maeri_sim::{Cycle, Result, SimError};
 
-use crate::dist::Distributor;
 use crate::engine::RunStats;
 use crate::MaeriConfig;
 
@@ -158,7 +157,7 @@ impl CrossLayerMapper {
         // tree moving every stage's inputs through one chubby root.
         let compute_bound = stages.iter().map(|s| s.cycles).max().unwrap_or(Cycle::ZERO);
         let total_words: u64 = stages.iter().map(|s| s.input_words).sum();
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
         let bandwidth_bound = Cycle::new(maeri_sim::util::ceil_div(
             total_words,
             dist.bandwidth() as u64,
@@ -238,7 +237,7 @@ impl CrossLayerMapper {
         let shared_head = branches[0].first().map_or(0, |l| l.input_count() as u64);
         let total_words: u64 =
             stages.iter().map(|s| s.input_words).sum::<u64>() - (head_words - shared_head);
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
         let bandwidth_bound = Cycle::new(maeri_sim::util::ceil_div(
             total_words,
             dist.bandwidth() as u64,
@@ -264,12 +263,13 @@ impl CrossLayerMapper {
         if layers.is_empty() {
             return Err(SimError::unmappable("cannot partition an empty set"));
         }
-        let n = self.cfg.num_mult_switches();
+        // Faulty switches shrink the budget the stages compete for.
+        let (_, budget) = super::span_capacity(&self.cfg.healthy_spans())?;
         let granules: Vec<usize> = layers.iter().map(|l| Self::vn_granule(l).0).collect();
         let min_needed: usize = granules.iter().sum();
-        if min_needed > n {
+        if min_needed > budget {
             return Err(SimError::unmappable(format!(
-                "parallel set needs at least {min_needed} switches, have {n}"
+                "parallel set needs at least {min_needed} switches, have {budget}"
             )));
         }
         let stage_time = |layer: &ConvLayer, share: usize| {
@@ -278,7 +278,7 @@ impl CrossLayerMapper {
             pipeline_stage_cycles(layer, lanes, pieces, ct, f64::INFINITY).as_u64()
         };
         let mut shares: Vec<usize> = granules.clone();
-        let mut left = n - min_needed;
+        let mut left = budget - min_needed;
         loop {
             let mut order: Vec<usize> = (0..layers.len()).collect();
             order.sort_by_key(|&i| std::cmp::Reverse(stage_time(&layers[i], shares[i])));

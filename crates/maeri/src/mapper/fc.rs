@@ -10,8 +10,8 @@ use maeri_dnn::FcLayer;
 use maeri_sim::util::ceil_div;
 use maeri_sim::{Cycle, Result};
 
-use crate::art::{pack_vns, ArtConfig};
-use crate::dist::Distributor;
+use super::span_capacity;
+use crate::art::{pack_vns_into_spans, ArtConfig};
 use crate::engine::RunStats;
 use crate::MaeriConfig;
 
@@ -47,13 +47,21 @@ impl FcMapper {
     /// Propagates ART construction failures.
     pub fn run(&self, layer: &FcLayer) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
+        let spans = self.cfg.healthy_spans();
+        let (cap, budget) = span_capacity(&spans)?;
         let d = layer.inputs as u64;
-        let fold = ceil_div(d, n as u64);
+        let fold = ceil_div(d, cap as u64);
         let vn_size = ceil_div(d, fold) as usize;
-        let num_vns = (n / vn_size).max(1);
-        let (ranges, _) = pack_vns(n, &vec![vn_size; num_vns]);
-        let art = ArtConfig::build(self.cfg.collection_chubby(), &ranges)?;
+        let want = (budget / vn_size).max(1);
+        let (ranges, _) = pack_vns_into_spans(&spans, &vec![vn_size; want]);
+        let num_vns = ranges.len();
+        let fault_plan = self.cfg.fault_plan();
+        let art = ArtConfig::build_with_faults(
+            self.cfg.collection_chubby(),
+            &ranges,
+            fault_plan.as_ref(),
+        )?;
         let slowdown = art.throughput_slowdown();
 
         let units = layer.outputs as u64 * fold;

@@ -16,8 +16,8 @@ use maeri_dnn::LstmLayer;
 use maeri_sim::util::ceil_div;
 use maeri_sim::{Cycle, Result};
 
-use crate::art::{pack_vns, ArtConfig};
-use crate::dist::Distributor;
+use super::span_capacity;
+use crate::art::{pack_vns_into_spans, ArtConfig};
 use crate::engine::RunStats;
 use crate::MaeriConfig;
 
@@ -105,13 +105,21 @@ impl LstmMapper {
     /// Propagates ART construction failures.
     pub fn run_gate_phase(&self, layer: &LstmLayer) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
+        let spans = self.cfg.healthy_spans();
+        let (cap, budget) = span_capacity(&spans)?;
         let d = (layer.input_dim + layer.hidden_dim) as u64;
-        let fold = ceil_div(d, n as u64);
+        let fold = ceil_div(d, cap as u64);
         let vn_size = ceil_div(d, fold) as usize;
-        let num_vns = (n / vn_size).max(1);
-        let (ranges, _) = pack_vns(n, &vec![vn_size; num_vns]);
-        let art = ArtConfig::build(self.cfg.collection_chubby(), &ranges)?;
+        let want = (budget / vn_size).max(1);
+        let (ranges, _) = pack_vns_into_spans(&spans, &vec![vn_size; want]);
+        let num_vns = ranges.len();
+        let fault_plan = self.cfg.fault_plan();
+        let art = ArtConfig::build_with_faults(
+            self.cfg.collection_chubby(),
+            &ranges,
+            fault_plan.as_ref(),
+        )?;
         let slowdown = art.throughput_slowdown();
 
         // 4 gates x H neurons, each needing `fold` passes.
@@ -154,13 +162,26 @@ impl LstmMapper {
     /// Propagates ART construction failures.
     pub fn run_state_phase(&self, layer: &LstmLayer) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
+        let spans = self.cfg.healthy_spans();
+        let (cap, budget) = span_capacity(&spans)?;
+        if cap < 2 {
+            return Err(maeri_sim::SimError::unmappable(
+                "LSTM state VNs need two adjacent healthy multiplier switches",
+            ));
+        }
         let h = layer.hidden_dim as u64;
 
-        // State: VNs of two multipliers.
-        let state_vns = (n / 2).max(1);
-        let (ranges, _) = pack_vns(n, &vec![2usize; state_vns]);
-        let art = ArtConfig::build(self.cfg.collection_chubby(), &ranges)?;
+        // State: VNs of two multipliers, carved from healthy spans.
+        let want = (budget / 2).max(1);
+        let (ranges, _) = pack_vns_into_spans(&spans, &vec![2usize; want]);
+        let state_vns = ranges.len();
+        let fault_plan = self.cfg.fault_plan();
+        let art = ArtConfig::build_with_faults(
+            self.cfg.collection_chubby(),
+            &ranges,
+            fault_plan.as_ref(),
+        )?;
         let slowdown = art.throughput_slowdown();
         let state_iters = ceil_div(h, state_vns as u64);
         // Four operands per neuron: f, s_prev, i, t.
@@ -173,13 +194,11 @@ impl LstmMapper {
             1 + self.cfg.art_depth() as u64 + (state_iters as f64 * per_iter).ceil() as u64;
 
         // Output: one multiply per neuron (o * tanh(s)); pure
-        // distribution/collection bound.
-        let out_iters = ceil_div(h, n as u64);
-        let out_per_iter = (dist.multicast_cycles(2 * n.min(h as usize) as u64).as_u64())
-            .max(ceil_div(
-                n.min(h as usize) as u64,
-                self.cfg.collect_bandwidth() as u64,
-            ))
+        // distribution/collection bound over the healthy switches.
+        let out_iters = ceil_div(h, budget as u64);
+        let out_lanes = budget.min(h as usize) as u64;
+        let out_per_iter = (dist.multicast_cycles(2 * out_lanes).as_u64())
+            .max(ceil_div(out_lanes, self.cfg.collect_bandwidth() as u64))
             .max(1);
         let out_cycles = 1 + out_iters * out_per_iter;
 

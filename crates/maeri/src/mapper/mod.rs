@@ -25,3 +25,24 @@ pub use fc::FcMapper;
 pub use lstm::LstmMapper;
 pub use pool::PoolMapper;
 pub use sparse::SparseConvMapper;
+
+use crate::art::VnRange;
+use maeri_sim::{Result, SimError};
+
+/// Largest contiguous healthy span (`cap`, the biggest VN the fabric
+/// can host) and total healthy leaves (`budget`) of a span set. On a
+/// fault-free fabric both equal the multiplier count.
+///
+/// # Errors
+///
+/// Returns [`SimError::Unmappable`] when no healthy span remains —
+/// every multiplier switch is faulty, so nothing can map.
+pub(crate) fn span_capacity(spans: &[VnRange]) -> Result<(usize, usize)> {
+    let cap = spans.iter().map(|s| s.len).max().unwrap_or(0);
+    if cap == 0 {
+        return Err(SimError::unmappable(
+            "every multiplier switch is faulty; no virtual neuron can be formed",
+        ));
+    }
+    Ok((cap, spans.iter().map(|s| s.len).sum()))
+}

@@ -10,8 +10,8 @@ use maeri_dnn::PoolLayer;
 use maeri_sim::util::ceil_div;
 use maeri_sim::{Cycle, Result};
 
-use crate::art::{pack_vns, ArtConfig};
-use crate::dist::Distributor;
+use super::span_capacity;
+use crate::art::{pack_vns_into_spans, ArtConfig};
 use crate::engine::RunStats;
 use crate::MaeriConfig;
 
@@ -47,15 +47,23 @@ impl PoolMapper {
     /// Propagates ART construction failures.
     pub fn run(&self, layer: &PoolLayer) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
+        let spans = self.cfg.healthy_spans();
+        let (cap, budget) = span_capacity(&spans)?;
         let window = layer.window * layer.window;
-        // A window beyond the array folds (AS registers keep running
-        // maxima just as they keep partial sums).
-        let fold = ceil_div(window as u64, n as u64);
+        // A window beyond the largest healthy span folds (AS registers
+        // keep running maxima just as they keep partial sums).
+        let fold = ceil_div(window as u64, cap as u64);
         let vn_size = ceil_div(window as u64, fold) as usize;
-        let num_vns = (n / vn_size).max(1);
-        let (ranges, _) = pack_vns(n, &vec![vn_size; num_vns]);
-        let art = ArtConfig::build(self.cfg.collection_chubby(), &ranges)?;
+        let want = (budget / vn_size).max(1);
+        let (ranges, _) = pack_vns_into_spans(&spans, &vec![vn_size; want]);
+        let num_vns = ranges.len();
+        let fault_plan = self.cfg.fault_plan();
+        let art = ArtConfig::build_with_faults(
+            self.cfg.collection_chubby(),
+            &ranges,
+            fault_plan.as_ref(),
+        )?;
         let slowdown = art.throughput_slowdown();
 
         let outputs = (layer.channels * layer.out_h() * layer.out_w()) as u64;

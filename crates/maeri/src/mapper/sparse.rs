@@ -19,8 +19,8 @@ use maeri_dnn::{ConvLayer, WeightMask};
 use maeri_sim::util::ceil_div;
 use maeri_sim::{Cycle, Result, SimError};
 
-use crate::art::{pack_vns, ArtConfig};
-use crate::dist::Distributor;
+use super::span_capacity;
+use crate::art::{pack_vns_into_spans, ArtConfig};
 use crate::engine::RunStats;
 use crate::MaeriConfig;
 
@@ -142,7 +142,7 @@ impl SparseConvMapper {
     /// Propagates invalid tiles and ART construction failures.
     pub fn run(&self, layer: &ConvLayer, mask: &WeightMask, ct: usize) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
-        let dist = Distributor::new(self.cfg.distribution_chubby());
+        let dist = self.cfg.distributor();
         let sizes = self.vn_sizes(layer, mask, ct)?;
         // An entirely pruned layer performs no work.
         if sizes.is_empty() {
@@ -150,13 +150,17 @@ impl SparseConvMapper {
             run.extra.add("groups", 0);
             return Ok(run);
         }
+        let spans = self.cfg.healthy_spans();
+        let (cap, _budget) = span_capacity(&spans)?;
+        let fault_plan = self.cfg.fault_plan();
         // Oversized sparse VNs fold like dense ones; split them here so
-        // packing sees mappable pieces. Each piece remembers its fold
-        // factor: a piece covering 1/f of a slice also only touches
-        // ~1/f of the filter rows per step.
+        // packing sees mappable pieces (no piece may exceed the largest
+        // healthy span). Each piece remembers its fold factor: a piece
+        // covering 1/f of a slice also only touches ~1/f of the filter
+        // rows per step.
         let mut pieces: Vec<(usize, usize)> = Vec::with_capacity(sizes.len());
         for size in sizes {
-            let folds = ceil_div(size as u64, n as u64) as usize;
+            let folds = ceil_div(size as u64, cap as u64) as usize;
             let base = size / folds;
             let mut rem = size % folds;
             for _ in 0..folds {
@@ -180,17 +184,27 @@ impl SparseConvMapper {
         while idx < pieces.len() {
             let mut group = Vec::new();
             let mut max_folds = 1usize;
-            let mut used = 0usize;
-            while idx < pieces.len() && used + pieces[idx].0 <= n {
+            // Grow the group while every piece still lands on a healthy
+            // span; the first piece that no longer fits starts the next
+            // group (with the span cursor reset to the array's left).
+            while idx < pieces.len() {
                 group.push(pieces[idx].0);
+                let (_, overflow) = pack_vns_into_spans(&spans, &group);
+                if !overflow.is_empty() {
+                    group.pop();
+                    break;
+                }
                 max_folds = max_folds.max(pieces[idx].1);
-                used += pieces[idx].0;
                 idx += 1;
             }
             debug_assert!(!group.is_empty(), "one VN must always fit");
-            let (ranges, overflow) = pack_vns(n, &group);
+            let (ranges, overflow) = pack_vns_into_spans(&spans, &group);
             debug_assert!(overflow.is_empty());
-            let art = ArtConfig::build(self.cfg.collection_chubby(), &ranges)?;
+            let art = ArtConfig::build_with_faults(
+                self.cfg.collection_chubby(),
+                &ranges,
+                fault_plan.as_ref(),
+            )?;
             let slowdown = art.throughput_slowdown();
 
             // Input traffic: segment-major packing means the lanes of a

@@ -14,10 +14,12 @@ use crate::output::JobResult;
 /// indistinguishable from re-running the job, which keeps cached batches
 /// bit-identical to cold ones.
 ///
-/// Failed results are cached too: an unmappable point stays unmappable,
-/// and re-deriving the error wastes a worker slot. Panics are the one
-/// exception (see [`ResultCache::insert`]) — a panic may be
-/// environment-dependent (e.g. out of stack), so it is re-attempted.
+/// Deterministic failures are cached too: an unmappable point stays
+/// unmappable, and re-deriving the error wastes a worker slot.
+/// *Transient* failures — panics and timeouts, see
+/// [`JobError::is_transient`](crate::JobError::is_transient) — are the
+/// exception: they describe one execution (out of stack, a saturated
+/// machine), not the job, so they are re-attempted on the next request.
 #[derive(Debug, Default)]
 pub struct ResultCache {
     entries: Mutex<HashMap<JobKey, JobResult>>,
@@ -40,11 +42,12 @@ impl ResultCache {
             .cloned()
     }
 
-    /// Records a completed result. Panicked results are not retained
-    /// (they may not be deterministic properties of the job), all
-    /// others are. Returns whether the entry was stored.
+    /// Records a completed result. Transient failures (panics and
+    /// timeouts) are not retained — they may not be deterministic
+    /// properties of the job — all other results are. Returns whether
+    /// the entry was stored.
     pub fn insert(&self, key: JobKey, result: JobResult) -> bool {
-        if matches!(result, Err(crate::output::JobError::Panicked(_))) {
+        if matches!(&result, Err(error) if error.is_transient()) {
             return false;
         }
         self.entries
@@ -104,6 +107,17 @@ mod tests {
         assert!(!cache.insert(key.clone(), Err(JobError::Panicked("boom".into()))));
         assert_eq!(cache.get(&key), None);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn timeouts_are_not_cached() {
+        let cache = ResultCache::new();
+        let key = key_of(&SimJob::wedge(10));
+        assert!(!cache.insert(key.clone(), Err(JobError::TimedOut("wedged".into()))));
+        assert_eq!(cache.get(&key), None);
+        // A deterministic rejection under the same key is still kept.
+        assert!(cache.insert(key.clone(), Err(JobError::Sim("unmappable".into()))));
+        assert!(cache.get(&key).is_some());
     }
 
     #[test]

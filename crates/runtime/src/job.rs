@@ -163,11 +163,15 @@ pub enum SimJob {
         /// Input words multicast to every lane per step.
         shared_inputs: usize,
     },
-    /// Scheduler health-check probe. Completes immediately, or panics
-    /// with the given message — used to verify panic isolation.
+    /// Scheduler health-check probe. Completes immediately, panics
+    /// with the given message, or stalls for a fixed wall-clock time —
+    /// used to verify panic isolation and the timeout watchdog.
     Probe {
         /// When `Some`, the job panics with this message.
         panic_with: Option<String>,
+        /// Wall-clock milliseconds to sleep before completing; models a
+        /// wedged simulation for timeout tests.
+        stall_ms: u64,
     },
 }
 
@@ -237,7 +241,10 @@ impl SimJob {
     /// A probe that succeeds immediately.
     #[must_use]
     pub fn health_check() -> Self {
-        SimJob::Probe { panic_with: None }
+        SimJob::Probe {
+            panic_with: None,
+            stall_ms: 0,
+        }
     }
 
     /// A probe that panics — for exercising the pool's panic isolation.
@@ -245,6 +252,17 @@ impl SimJob {
     pub fn poison(message: impl Into<String>) -> Self {
         SimJob::Probe {
             panic_with: Some(message.into()),
+            stall_ms: 0,
+        }
+    }
+
+    /// A probe that wedges for `stall_ms` wall-clock milliseconds
+    /// before succeeding — for exercising the timeout watchdog.
+    #[must_use]
+    pub fn wedge(stall_ms: u64) -> Self {
+        SimJob::Probe {
+            panic_with: None,
+            stall_ms,
         }
     }
 
@@ -280,9 +298,13 @@ impl SimJob {
             SimJob::AnalyticSystolic { layer, .. } => format!("analytic/systolic/{}", layer.name),
             SimJob::AnalyticMaeri { layer, .. } => format!("analytic/maeri/{}", layer.name),
             SimJob::ConvTrace { lanes, .. } => format!("trace/conv/{}lanes", lanes.len()),
-            SimJob::Probe { panic_with } => match panic_with {
-                Some(_) => "probe/poison".to_owned(),
-                None => "probe/health".to_owned(),
+            SimJob::Probe {
+                panic_with,
+                stall_ms,
+            } => match (panic_with, stall_ms) {
+                (Some(_), _) => "probe/poison".to_owned(),
+                (None, 0) => "probe/health".to_owned(),
+                (None, _) => "probe/wedge".to_owned(),
             },
         }
     }
@@ -384,9 +406,15 @@ impl SimJob {
                     simulate_conv_iteration(cfg, lanes, *steps, *shared_inputs)?;
                 Ok(SimOutput::Trace(trace))
             }
-            SimJob::Probe { panic_with } => {
+            SimJob::Probe {
+                panic_with,
+                stall_ms,
+            } => {
                 if let Some(message) = panic_with {
                     panic!("{}", message.clone());
+                }
+                if *stall_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(*stall_ms));
                 }
                 Ok(SimOutput::Run(maeri::RunStats::new(
                     "probe",
@@ -546,7 +574,10 @@ impl SimJob {
                 enc.u64(*steps);
                 enc.usize(*shared_inputs);
             }
-            SimJob::Probe { panic_with } => {
+            SimJob::Probe {
+                panic_with,
+                stall_ms,
+            } => {
                 enc.tag(14);
                 match panic_with {
                     Some(message) => {
@@ -555,6 +586,7 @@ impl SimJob {
                     }
                     None => enc.tag(0),
                 }
+                enc.u64(*stall_ms);
             }
         }
         enc.finish()
@@ -628,6 +660,20 @@ impl KeyEncoder {
         self.usize(cfg.dist_bandwidth());
         self.usize(cfg.collect_bandwidth());
         self.usize(cfg.ms_local_buffers());
+        // The fault spec reshapes mappings and schedules, so two
+        // configs differing only in faults must never share a key.
+        match cfg.faults() {
+            None => self.tag(0),
+            Some(spec) => {
+                self.tag(1);
+                self.u64(spec.seed);
+                self.u64(u64::from(spec.dead_mult_permille));
+                self.u64(u64::from(spec.dead_adder_permille));
+                self.u64(u64::from(spec.dead_link_permille));
+                self.u64(u64::from(spec.flit_drop_permille));
+                self.u64(u64::from(spec.flit_delay_cycles));
+            }
+        }
     }
 
     fn conv(&mut self, layer: &ConvLayer) {
@@ -721,6 +767,38 @@ mod tests {
         // Channel tile larger than the channel count is rejected.
         let job = SimJob::sparse_conv(MaeriConfig::paper_64(), layer(), 0.0, 99, 1);
         assert!(matches!(job.execute(), Err(crate::JobError::Sim(_))));
+    }
+
+    #[test]
+    fn fault_spec_is_part_of_the_cache_identity() {
+        let clean = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        let degraded_cfg = MaeriConfig::builder(64)
+            .distribution_bandwidth(8)
+            .collection_bandwidth(8)
+            .faults(maeri::FaultSpec::new(7).dead_multipliers(250))
+            .build()
+            .unwrap();
+        let degraded = SimJob::dense_conv(degraded_cfg, layer(), VnPolicy::Auto);
+        assert_ne!(
+            clean.key(),
+            degraded.key(),
+            "configs differing only in faults must not share cached results"
+        );
+        let reseeded_cfg = MaeriConfig::builder(64)
+            .distribution_bandwidth(8)
+            .collection_bandwidth(8)
+            .faults(maeri::FaultSpec::new(8).dead_multipliers(250))
+            .build()
+            .unwrap();
+        let reseeded = SimJob::dense_conv(reseeded_cfg, layer(), VnPolicy::Auto);
+        assert_ne!(degraded.key(), reseeded.key());
+    }
+
+    #[test]
+    fn probe_kinds_key_and_label_distinctly() {
+        assert_ne!(SimJob::health_check().key(), SimJob::wedge(10).key());
+        assert_ne!(SimJob::wedge(10).key(), SimJob::wedge(20).key());
+        assert_eq!(SimJob::wedge(10).label(), "probe/wedge");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //!   bounded queue with graceful shutdown and **panic isolation**: a
 //!   panicking job is reported as a failed [`JobResult`], never a
 //!   crashed process;
+//! * every attempt runs under a [`RetryPolicy`]: transient failures
+//!   (panics, timeouts) are retried with bounded doubling backoff,
+//!   and a wedged job is abandoned by a watchdog as
+//!   [`JobError::TimedOut`] instead of hanging the pool;
 //! * a deterministic in-memory cache keyed by a content hash of the job
 //!   ([`JobKey`]) computes identical points once, across batches and
 //!   across callers sharing a [`Runtime`];
@@ -53,9 +57,11 @@ mod metrics;
 mod output;
 mod pool;
 mod runtime;
+mod supervise;
 
 pub use cache::ResultCache;
 pub use job::{Fidelity, JobKey, SimJob};
 pub use metrics::{MetricsSnapshot, PhaseStats, RuntimeMetrics};
 pub use output::{canonical_result_text, JobError, JobResult, SimOutput};
 pub use runtime::Runtime;
+pub use supervise::RetryPolicy;

@@ -29,6 +29,10 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Jobs answered without executing (cache or in-batch dedup).
     pub cache_hits: u64,
+    /// Extra attempts spent re-running transiently-failed jobs.
+    pub retries: u64,
+    /// Attempts abandoned by the per-job timeout watchdog.
+    pub timeouts: u64,
     /// Highest number of jobs simultaneously in flight on the queue.
     pub queue_high_water: usize,
     /// Per-phase wall-time log, in submission order.
@@ -52,6 +56,12 @@ impl MetricsSnapshot {
             "  jobs: {} submitted, {} executed, {} failed, {} cache hits\n",
             self.submitted, self.executed, self.failed, self.cache_hits
         ));
+        if self.retries > 0 || self.timeouts > 0 {
+            out.push_str(&format!(
+                "  hardening: {} retries, {} timeouts\n",
+                self.retries, self.timeouts
+            ));
+        }
         out.push_str(&format!(
             "  queue high-water: {} in flight\n",
             self.queue_high_water
@@ -82,6 +92,8 @@ pub struct RuntimeMetrics {
     executed: AtomicU64,
     failed: AtomicU64,
     cache_hits: AtomicU64,
+    retries: AtomicU64,
+    timeouts: AtomicU64,
     in_flight: AtomicUsize,
     queue_high_water: AtomicUsize,
     phases: Mutex<Vec<PhaseStats>>,
@@ -107,6 +119,16 @@ impl RuntimeMetrics {
 
     pub(crate) fn record_cache_hits(&self, count: usize) {
         self.cache_hits.fetch_add(count as u64, Ordering::Relaxed);
+    }
+
+    /// Counts one extra attempt spent on a transiently-failed job.
+    pub(crate) fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one attempt abandoned by the timeout watchdog.
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks one job entering the queue and updates the high-water mark.
@@ -137,6 +159,8 @@ impl RuntimeMetrics {
             executed: self.executed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             phases: self
                 .phases
@@ -195,5 +219,17 @@ mod tests {
         assert!(text.contains("figure12"));
         assert!(text.contains("headline"));
         assert!(text.contains("total wall"));
+    }
+
+    #[test]
+    fn hardening_line_appears_only_when_something_happened() {
+        let metrics = RuntimeMetrics::new();
+        assert!(!metrics.snapshot().render().contains("hardening"));
+        metrics.record_retry();
+        metrics.record_timeout();
+        let snap = metrics.snapshot();
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.timeouts, 1);
+        assert!(snap.render().contains("hardening: 1 retries, 1 timeouts"));
     }
 }

@@ -134,9 +134,27 @@ pub enum JobError {
     Sim(String),
     /// The job panicked; the worker caught it and kept serving.
     Panicked(String),
+    /// The job exceeded its per-attempt wall-clock budget; the watchdog
+    /// abandoned it and the worker kept serving.
+    TimedOut(String),
 }
 
 impl JobError {
+    /// Whether the failure is *transient* — a property of this
+    /// execution (environment, scheduling, stack exhaustion) rather
+    /// than of the job description.
+    ///
+    /// Transient failures are worth retrying and must never be cached;
+    /// a deterministic [`JobError::Sim`] rejection would only reproduce
+    /// itself, so it is cached and never retried.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        match self {
+            JobError::Sim(_) => false,
+            JobError::Panicked(_) | JobError::TimedOut(_) => true,
+        }
+    }
+
     /// A canonical, field-stable text encoding (see
     /// [`SimOutput::canonical_text`]).
     #[must_use]
@@ -144,6 +162,7 @@ impl JobError {
         match self {
             JobError::Sim(msg) => format!("error sim={msg}"),
             JobError::Panicked(msg) => format!("error panic={msg}"),
+            JobError::TimedOut(msg) => format!("error timeout={msg}"),
         }
     }
 }
@@ -159,6 +178,7 @@ impl fmt::Display for JobError {
         match self {
             JobError::Sim(msg) => write!(f, "simulation error: {msg}"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+            JobError::TimedOut(msg) => write!(f, "job timed out: {msg}"),
         }
     }
 }

@@ -8,6 +8,7 @@ use std::thread::JoinHandle;
 use crate::job::SimJob;
 use crate::metrics::RuntimeMetrics;
 use crate::output::{JobError, JobResult};
+use crate::supervise::RetryPolicy;
 
 /// One unit of queued work: the job plus the ticket that routes its
 /// result back to the submitting batch.
@@ -23,6 +24,10 @@ struct Task {
 ///   waiting, so a huge batch cannot balloon memory.
 /// * **Panic isolation** — each job runs under `catch_unwind`; a panic
 ///   becomes [`JobError::Panicked`] and the worker keeps serving.
+/// * **Supervision** — each job runs under the pool's [`RetryPolicy`]:
+///   transient failures are retried with backoff and wedged attempts
+///   are abandoned as [`JobError::TimedOut`] instead of hanging the
+///   worker (see [`crate::supervise`]).
 /// * **Graceful shutdown** — dropping the pool closes the queue, lets
 ///   every in-flight job finish, and joins all workers.
 pub(crate) struct WorkerPool {
@@ -38,6 +43,7 @@ impl WorkerPool {
         num_workers: usize,
         queue_depth: usize,
         metrics: Arc<RuntimeMetrics>,
+        policy: RetryPolicy,
     ) -> Self {
         let num_workers = num_workers.max(1);
         let (queue, task_rx) = sync_channel::<Task>(queue_depth.max(1));
@@ -48,7 +54,7 @@ impl WorkerPool {
                 let metrics = Arc::clone(&metrics);
                 std::thread::Builder::new()
                     .name(format!("maeri-worker-{index}"))
-                    .spawn(move || worker_loop(&task_rx, &metrics))
+                    .spawn(move || worker_loop(&task_rx, &metrics, policy))
                     .expect("failed to spawn simulation worker")
             })
             .collect();
@@ -88,7 +94,7 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(task_rx: &Mutex<Receiver<Task>>, metrics: &RuntimeMetrics) {
+fn worker_loop(task_rx: &Mutex<Receiver<Task>>, metrics: &RuntimeMetrics, policy: RetryPolicy) {
     loop {
         // Hold the lock only to dequeue, never while executing.
         let task = match task_rx.lock() {
@@ -98,8 +104,8 @@ fn worker_loop(task_rx: &Mutex<Receiver<Task>>, metrics: &RuntimeMetrics) {
         let Ok(Task { ticket, job, reply }) = task else {
             return; // queue closed: graceful shutdown
         };
-        let result = run_isolated(&job);
-        metrics.record_executed(result.is_err());
+        // The supervisor records per-attempt executed/failed counts.
+        let result = crate::supervise::execute_supervised(&job, &policy, metrics);
         metrics.job_drained();
         // The batch may have been abandoned (receiver dropped); that is
         // not the worker's problem.
@@ -133,7 +139,10 @@ mod tests {
 
     fn pool(workers: usize) -> (WorkerPool, Arc<RuntimeMetrics>) {
         let metrics = Arc::new(RuntimeMetrics::new());
-        (WorkerPool::new(workers, 8, Arc::clone(&metrics)), metrics)
+        (
+            WorkerPool::new(workers, 8, Arc::clone(&metrics), RetryPolicy::default()),
+            metrics,
+        )
     }
 
     #[test]

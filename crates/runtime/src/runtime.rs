@@ -14,6 +14,7 @@ use crate::job::{JobKey, SimJob};
 use crate::metrics::{MetricsSnapshot, PhaseStats, RuntimeMetrics};
 use crate::output::JobResult;
 use crate::pool::WorkerPool;
+use crate::supervise::RetryPolicy;
 
 /// Environment variable overriding the global runtime's worker count.
 pub const WORKERS_ENV: &str = "MAERI_RUNTIME_WORKERS";
@@ -31,11 +32,13 @@ pub struct Runtime {
     pool: WorkerPool,
     cache: ResultCache,
     metrics: Arc<RuntimeMetrics>,
+    policy: RetryPolicy,
 }
 
 impl Runtime {
-    /// Creates a runtime with `workers` worker threads (minimum 1) and
-    /// a default job-queue depth of four tasks per worker.
+    /// Creates a runtime with `workers` worker threads (minimum 1), a
+    /// default job-queue depth of four tasks per worker, and the
+    /// default (single-attempt, no-watchdog) [`RetryPolicy`].
     #[must_use]
     pub fn new(workers: usize) -> Self {
         Self::with_queue_depth(workers, workers.max(1) * 4)
@@ -45,12 +48,35 @@ impl Runtime {
     /// submission blocks once `queue_depth` tasks are waiting.
     #[must_use]
     pub fn with_queue_depth(workers: usize, queue_depth: usize) -> Self {
+        Self::with_queue_depth_and_policy(workers, queue_depth, RetryPolicy::default())
+    }
+
+    /// Creates a runtime whose workers supervise every job under
+    /// `policy`: bounded retries for transient failures and an optional
+    /// per-attempt timeout watchdog (see [`RetryPolicy`]).
+    #[must_use]
+    pub fn with_policy(workers: usize, policy: RetryPolicy) -> Self {
+        Self::with_queue_depth_and_policy(workers, workers.max(1) * 4, policy)
+    }
+
+    fn with_queue_depth_and_policy(
+        workers: usize,
+        queue_depth: usize,
+        policy: RetryPolicy,
+    ) -> Self {
         let metrics = Arc::new(RuntimeMetrics::new());
         Runtime {
-            pool: WorkerPool::new(workers, queue_depth, Arc::clone(&metrics)),
+            pool: WorkerPool::new(workers, queue_depth, Arc::clone(&metrics), policy),
             cache: ResultCache::new(),
             metrics,
+            policy,
         }
+    }
+
+    /// The supervision policy every job runs under.
+    #[must_use]
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// The process-wide shared runtime. Sized from the
@@ -93,8 +119,8 @@ impl Runtime {
             self.metrics.record_cache_hits(1);
             (hit, true)
         } else {
-            let result = crate::pool::run_isolated(job);
-            self.metrics.record_executed(result.is_err());
+            // The supervisor records per-attempt executed/failed counts.
+            let result = crate::supervise::execute_supervised(job, &self.policy, &self.metrics);
             self.cache.insert(key, result.clone());
             (result, false)
         };
