@@ -1,0 +1,63 @@
+//! Criterion microbenchmarks of the telemetry probes: the plain
+//! simulator entry point vs the probed path with a `NullSink` (must
+//! monomorphize to the same code), a `CountingSink` (one counter bump
+//! per event), and the full `TelemetrySink` reduction. This is the
+//! precise version of the neutrality guard in
+//! `crates/maeri/tests/telemetry_neutrality.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maeri::cycle_sim::{simulate_conv_layer, simulate_conv_layer_probed};
+use maeri::{MaeriConfig, VnPolicy};
+use maeri_dnn::ConvLayer;
+use maeri_telemetry::{CountingSink, NullSink, TelemetrySink};
+
+fn layer() -> ConvLayer {
+    // AlexNet C2-shaped: big enough that per-cycle probe overhead would
+    // show, small enough to iterate quickly.
+    ConvLayer::new("bench_conv", 48, 27, 27, 128, 5, 5, 1, 2)
+}
+
+fn bench_probe_overhead(c: &mut Criterion) {
+    let cfg = MaeriConfig::paper_64();
+    let layer = layer();
+    let mut group = c.benchmark_group("telemetry_probe_overhead");
+    group.bench_function("plain", |b| {
+        b.iter(|| simulate_conv_layer(&cfg, std::hint::black_box(&layer), VnPolicy::Auto))
+    });
+    group.bench_function("null_sink", |b| {
+        b.iter(|| {
+            simulate_conv_layer_probed(
+                &cfg,
+                std::hint::black_box(&layer),
+                VnPolicy::Auto,
+                &mut NullSink,
+            )
+        })
+    });
+    group.bench_function("counting_sink", |b| {
+        b.iter(|| {
+            let mut sink = CountingSink::new();
+            simulate_conv_layer_probed(
+                &cfg,
+                std::hint::black_box(&layer),
+                VnPolicy::Auto,
+                &mut sink,
+            )
+        })
+    });
+    group.bench_function("telemetry_sink", |b| {
+        b.iter(|| {
+            let mut sink = TelemetrySink::new();
+            simulate_conv_layer_probed(
+                &cfg,
+                std::hint::black_box(&layer),
+                VnPolicy::Auto,
+                &mut sink,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_overhead);
+criterion_main!(benches);

@@ -8,8 +8,10 @@
 //! rebuilds the complete paper-vs-measured record behind
 //! `EXPERIMENTS.md`. Output is bit-identical to running the report
 //! binaries serially; a runtime-metrics summary is appended to stderr
-//! unless `MAERI_RUNTIME_QUIET` is set. Set `MAERI_RUNTIME_WORKERS` to
-//! control parallelism.
+//! unless `MAERI_RUNTIME_QUIET` is set. With `--json` the summary is
+//! instead printed as a single JSON line on stdout (the last line of
+//! output, so `tail -n 1 | python3 -m json.tool` parses it). Set
+//! `MAERI_RUNTIME_WORKERS` to control parallelism.
 
 use std::time::Instant;
 
@@ -17,6 +19,17 @@ use maeri_bench::reports::REPORTS;
 use maeri_runtime::Runtime;
 
 fn main() {
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => {
+                eprintln!("usage: regen_all [--json]  (unknown argument {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
     let start = Instant::now();
     for (_, run) in REPORTS {
         run();
@@ -24,9 +37,13 @@ fn main() {
     }
     println!("regenerated all {} reports", REPORTS.len());
 
-    if std::env::var_os("MAERI_RUNTIME_QUIET").is_none() {
+    let snapshot = Runtime::global().metrics();
+    if json {
+        // One line, last on stdout, so scripts can split it off the
+        // human-readable reports above.
+        println!("{}", snapshot.to_json().render());
+    } else if std::env::var_os("MAERI_RUNTIME_QUIET").is_none() {
         // Stderr, so piping stdout to a file captures only the reports.
-        let snapshot = Runtime::global().metrics();
         eprintln!("\n{}", snapshot.render().trim_end());
         eprintln!("  workers: {}", Runtime::global().num_workers());
         eprintln!("  regen_all wall: {:.2?}", start.elapsed());

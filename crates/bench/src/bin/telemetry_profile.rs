@@ -1,0 +1,7 @@
+//! Telemetry profile: cycle-level fabric observability for AlexNet's
+//! convolutions (thin wrapper over
+//! `maeri_bench::reports::telemetry_profile`).
+
+fn main() {
+    maeri_bench::reports::telemetry_profile::run();
+}

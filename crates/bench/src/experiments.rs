@@ -515,6 +515,78 @@ pub fn fault_sweep() -> Vec<FaultSweepRow> {
         .collect()
 }
 
+// --------------------------------------------------------- telemetry profile
+
+/// One telemetry-instrumented CONV layer of the profile.
+#[derive(Debug, Clone)]
+pub struct TelemetryRow {
+    /// Layer name.
+    pub layer: String,
+    /// Cycles of the instrumented clocked trace.
+    pub cycles: u64,
+    /// Multiplier busy fraction over the run.
+    pub mult_busy: f64,
+    /// Fraction of lane-cycles stalled waiting on distribution.
+    pub dist_stall: f64,
+    /// Fraction of lane-cycles stalled on collection backpressure.
+    pub collect_stall: f64,
+    /// Utilization of the busiest distribution-tree level.
+    pub peak_link_utilization: f64,
+    /// Median VN reduction latency, in cycles.
+    pub vn_latency_p50: u64,
+    /// 95th-percentile VN reduction latency, in cycles.
+    pub vn_latency_p95: u64,
+    /// Adder switches active in the configured ART.
+    pub art_active_adders: u64,
+    /// Trace events the probes recorded for the layer.
+    pub events: u64,
+}
+
+/// Runs the telemetry profile: AlexNet's convolution layers through the
+/// clocked simulator with the fabric probes live, reducing the event
+/// stream of each layer to link utilization, busy/stall fractions, and
+/// the VN-latency histogram. Deterministic: the probes observe the same
+/// scheduled cycles every run.
+#[must_use]
+pub fn telemetry_profile() -> Vec<TelemetryRow> {
+    let model = zoo::alexnet();
+    let layers: Vec<ConvLayer> = model.conv_layers().into_iter().cloned().collect();
+    let jobs: Vec<SimJob> = layers
+        .iter()
+        .map(|layer| SimJob::telemetry_conv(paper_config(), layer.clone(), VnPolicy::Auto))
+        .collect();
+    let results = Runtime::global().run_phase("telemetry_profile", &jobs);
+    layers
+        .iter()
+        .zip(results)
+        .map(|(layer, result)| {
+            let output = result.expect("the paper fabric maps every AlexNet layer");
+            let run = output
+                .telemetry()
+                .expect("telemetry jobs return telemetry output")
+                .clone();
+            let mut latency = run.fabric.vn_latency.clone();
+            TelemetryRow {
+                layer: layer.name.clone(),
+                cycles: run.fabric.cycles,
+                mult_busy: run.fabric.mult_busy_fraction,
+                dist_stall: run.fabric.dist_stall_fraction,
+                collect_stall: run.fabric.collect_stall_fraction,
+                peak_link_utilization: run
+                    .fabric
+                    .dist_level_utilization
+                    .iter()
+                    .copied()
+                    .fold(0.0, f64::max),
+                vn_latency_p50: latency.percentile(50.0).unwrap_or(0),
+                vn_latency_p95: latency.percentile(95.0).unwrap_or(0),
+                art_active_adders: run.fabric.art_active_adders,
+                events: run.fabric.total_events(),
+            }
+        })
+        .collect()
+}
+
 // ----------------------------------------------------------------- headline
 
 /// Utilization-improvement observations across all dataflow
@@ -729,6 +801,39 @@ mod tests {
             assert_eq!(x.mapped, y.mapped);
             assert!((x.mean_cycles - y.mean_cycles).abs() < 1e-12);
             assert!((x.slowdown - y.slowdown).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn telemetry_profile_observes_every_conv_layer() {
+        let rows = telemetry_profile();
+        assert_eq!(rows.len(), zoo::alexnet().conv_layers().len());
+        for row in &rows {
+            assert!(row.cycles > 0, "{}: empty trace", row.layer);
+            assert!(row.events > 0, "{}: probes recorded nothing", row.layer);
+            assert!(
+                (0.0..=1.0).contains(&row.mult_busy),
+                "{}: busy fraction {}",
+                row.layer,
+                row.mult_busy
+            );
+            assert!((0.0..=1.0).contains(&row.peak_link_utilization));
+            assert!(row.vn_latency_p95 >= row.vn_latency_p50);
+            assert!(row.art_active_adders > 0, "{}: ART unconfigured", row.layer);
+        }
+    }
+
+    #[test]
+    fn telemetry_profile_is_deterministic() {
+        let a = telemetry_profile();
+        let b = telemetry_profile();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.layer, y.layer);
+            assert_eq!(x.cycles, y.cycles);
+            assert_eq!(x.events, y.events);
+            assert_eq!(x.vn_latency_p50, y.vn_latency_p50);
+            assert_eq!(x.vn_latency_p95, y.vn_latency_p95);
+            assert!((x.mult_busy - y.mult_busy).abs() < 1e-15);
         }
     }
 

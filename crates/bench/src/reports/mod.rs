@@ -20,6 +20,7 @@ pub mod figure17;
 pub mod headline;
 pub mod table1;
 pub mod table3;
+pub mod telemetry_profile;
 
 /// Every report in regeneration order: `(name, printer)`.
 pub const REPORTS: &[(&str, fn())] = &[
@@ -36,6 +37,7 @@ pub const REPORTS: &[(&str, fn())] = &[
     ("ablations", ablations::run),
     ("energy", energy::run),
     ("fault_sweep", fault_sweep::run),
+    ("telemetry_profile", telemetry_profile::run),
 ];
 
 #[cfg(test)]
@@ -44,7 +46,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(REPORTS.len(), 13);
+        assert_eq!(REPORTS.len(), 14);
         let mut names: Vec<&str> = REPORTS.iter().map(|(n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();

@@ -1,0 +1,70 @@
+//! Telemetry profile: the fabric as seen by its own probes. The other
+//! reports quote end-of-run totals; this one reduces the cycle-level
+//! event stream — link occupancy per tree level, multiplier busy and
+//! stall fractions, VN reduction latency — into a per-layer profile,
+//! showing *where* time goes inside the distribution, multiplier, and
+//! reduction networks rather than just how much of it elapses.
+
+use crate::{experiments, report};
+use maeri_sim::table::{fmt_f64, Table};
+
+/// Prints this report to stdout.
+pub fn run() {
+    report::header(
+        "Telemetry profile — cycle-level fabric observability",
+        "observability extension: probes over Section 4's distribution and reduction networks",
+    );
+    let rows = experiments::telemetry_profile();
+    let mut table = Table::new(vec![
+        "layer",
+        "cycles",
+        "mult busy",
+        "dist stall",
+        "coll stall",
+        "peak link",
+        "vn p50",
+        "vn p95",
+        "adders",
+        "events",
+    ]);
+    for row in &rows {
+        table.row(vec![
+            row.layer.clone(),
+            report::cycles(row.cycles),
+            format!("{}%", fmt_f64(row.mult_busy * 100.0, 1)),
+            format!("{}%", fmt_f64(row.dist_stall * 100.0, 1)),
+            format!("{}%", fmt_f64(row.collect_stall * 100.0, 1)),
+            format!("{}%", fmt_f64(row.peak_link_utilization * 100.0, 1)),
+            row.vn_latency_p50.to_string(),
+            row.vn_latency_p95.to_string(),
+            row.art_active_adders.to_string(),
+            report::cycles(row.events),
+        ]);
+    }
+    report::section(
+        "AlexNet convolutions, 64 switches, fabric probes live",
+        &table,
+    );
+    let busiest = rows
+        .iter()
+        .max_by(|a, b| a.mult_busy.total_cmp(&b.mult_busy))
+        .expect("profile is non-empty");
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+    report::summary(&[
+        format!(
+            "probes are zero-cost when disabled (the NullSink path monomorphizes \
+             away) and recorded {total_events} events across {} layers here",
+            rows.len()
+        ),
+        format!(
+            "{} keeps the multipliers busiest ({}% of cycles); stalls split into \
+             distribution starvation vs collection backpressure, separating the \
+             two bandwidth stories the paper argues about",
+            busiest.layer,
+            fmt_f64(busiest.mult_busy * 100.0, 1)
+        ),
+        "VN latency percentiles come from per-wave reduction timestamps, so a \
+         congested ART shows up as a fat p95 tail rather than a vague mean"
+            .to_owned(),
+    ]);
+}

@@ -450,6 +450,18 @@ impl ArtConfig {
         self.node_uses.iter().filter(|u| u.addends > 0).count()
     }
 
+    /// Reports this configuration's adder-fabric usage to a telemetry
+    /// sink as one [`ArtConfigured`] event (a no-op for a disabled
+    /// sink).
+    ///
+    /// [`ArtConfigured`]: maeri_telemetry::TraceEvent::ArtConfigured
+    pub fn probe_configuration<S: maeri_telemetry::TraceSink>(&self, sink: &mut S) {
+        sink.emit(|| maeri_telemetry::TraceEvent::ArtConfigured {
+            active_adders: self.active_adders() as u64,
+            forward_links: self.forwarding_links().len() as u64,
+        });
+    }
+
     /// Number of multiplier leaves covered by VNs.
     #[must_use]
     pub fn busy_leaves(&self) -> usize {

@@ -64,15 +64,13 @@ impl NetworkRun {
         self.layers.iter().map(|l| l.macs).sum()
     }
 
-    /// Network-level compute utilization.
+    /// Network-level compute utilization. Shares
+    /// [`maeri_sim::util::utilization`] with the per-layer
+    /// [`RunStats::utilization`] so the two agree bit for bit.
     #[must_use]
     pub fn utilization(&self) -> f64 {
-        let cycles = self.total_cycles();
-        if cycles == 0 {
-            return 0.0;
-        }
         let units = self.layers.first().map_or(64, |l| l.compute_units);
-        self.total_macs() as f64 / (units as f64 * cycles as f64)
+        maeri_sim::util::utilization(self.total_macs(), units, self.total_cycles())
     }
 }
 
@@ -333,5 +331,29 @@ mod tests {
         let run = controller().run_model(&zoo::vgg16()).unwrap();
         let util = run.utilization();
         assert!(util > 0.0 && util <= 1.0, "network utilization {util}");
+    }
+
+    #[test]
+    fn network_and_layer_utilization_share_one_definition() {
+        // A single-layer network's utilization must be *bitwise*
+        // identical to that layer's RunStats figure — both sides go
+        // through maeri_sim::util::utilization, so any drift between
+        // the two formulas is a regression.
+        let run = controller().run_model(&zoo::alexnet()).unwrap();
+        let layer = run.layers[0].clone();
+        let single = NetworkRun {
+            model: "one-layer".to_owned(),
+            layers: vec![layer.clone()],
+            schedule: Vec::new(),
+            dram_words: 0,
+            dram_words_avoided: 0,
+        };
+        assert_eq!(
+            single.utilization().to_bits(),
+            layer.utilization().to_bits(),
+            "network {} vs layer {}",
+            single.utilization(),
+            layer.utilization()
+        );
     }
 }

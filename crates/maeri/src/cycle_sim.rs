@@ -20,6 +20,7 @@
 //! steady-state rate used by [`crate::mapper::conv::ConvMapper`].
 
 use maeri_sim::{Cycle, Result, SimError, SimRng, Stats};
+use maeri_telemetry::{FabricTelemetry, NullSink, TelemetrySink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::art::{pack_vns_into_spans, ArtConfig};
@@ -81,6 +82,30 @@ pub fn simulate_conv_iteration(
     steps: u64,
     shared_inputs: usize,
 ) -> Result<TraceStats> {
+    simulate_conv_iteration_probed(cfg, lanes, steps, shared_inputs, &mut NullSink)
+}
+
+/// [`simulate_conv_iteration`] with probes: every cycle reports what it
+/// did to `sink` (words injected, flits dropped, waves started and
+/// completed with their ART latency, per-lane stalls, the final cycle).
+///
+/// The probes are zero-cost when disabled: each site hands
+/// [`TraceSink::emit`] a closure, and with
+/// [`NullSink`](maeri_telemetry::NullSink) (whose
+/// [`ENABLED`](TraceSink::ENABLED) is `false`) the monomorphized loop
+/// is the uninstrumented one — [`simulate_conv_iteration`] itself is
+/// just this function with a `NullSink`.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_conv_iteration`].
+pub fn simulate_conv_iteration_probed<S: TraceSink>(
+    cfg: &MaeriConfig,
+    lanes: &[LaneSpec],
+    steps: u64,
+    shared_inputs: usize,
+    sink: &mut S,
+) -> Result<TraceStats> {
     if lanes.is_empty() || steps == 0 {
         return Err(SimError::unmappable("nothing to simulate"));
     }
@@ -108,6 +133,7 @@ pub fn simulate_conv_iteration(
     }
     let fault_plan = cfg.fault_plan();
     let art = ArtConfig::build_with_faults(cfg.collection_chubby(), &ranges, fault_plan.as_ref())?;
+    art.probe_configuration(sink);
 
     // Flit faults on the distribution tree: a seeded stream decides
     // which injections are lost (and retransmitted), and every
@@ -153,7 +179,8 @@ pub fn simulate_conv_iteration(
     let mut set_open: Vec<bool> = vec![false; lanes.len()];
     let mut fired: Vec<u64> = vec![0; lanes.len()];
     let mut sets_delivered: Vec<u64> = vec![0; lanes.len()];
-    let mut in_flight: std::collections::VecDeque<u64> = std::collections::VecDeque::new();
+    // Waves riding the ART pipeline: (cycle entered, firing lane).
+    let mut in_flight: std::collections::VecDeque<(u64, u32)> = std::collections::VecDeque::new();
     // Sets whose words arrived but whose rerouting delay has not yet
     // elapsed: (ready_cycle, lane).
     let mut pending: std::collections::VecDeque<(u64, usize)> = std::collections::VecDeque::new();
@@ -190,10 +217,15 @@ pub fn simulate_conv_iteration(
         let mut drained = 0u64;
         while drained < collect_bw {
             match in_flight.front() {
-                Some(&entered) if cycle - entered >= pipeline_depth => {
+                Some(&(entered, lane)) if cycle - entered >= pipeline_depth => {
                     in_flight.pop_front();
                     collected += 1;
                     drained += 1;
+                    sink.emit(|| TraceEvent::VnReduceComplete {
+                        cycle,
+                        lane,
+                        latency: cycle - entered,
+                    });
                 }
                 _ => break,
             }
@@ -213,6 +245,7 @@ pub fn simulate_conv_iteration(
         // with an open set still owing shared data; private words go to
         // one lane each, round-robin.
         let mut budget = dist_bw;
+        let mut issued_this_cycle = 0u64;
         loop {
             // Open the next set in lockstep: the controller keeps
             // co-scheduled lanes on the same window step, so new sets
@@ -250,6 +283,7 @@ pub fn simulate_conv_iteration(
                     if flit_drop_p > 0.0 && rng.next_bool(flit_drop_p) {
                         budget -= 1;
                         stats.extra.add("flits_dropped", 1);
+                        sink.emit(|| TraceEvent::FlitDropped { cycle });
                         continue;
                     }
                 }
@@ -264,6 +298,7 @@ pub fn simulate_conv_iteration(
                     owed_private[lane] -= 1;
                 }
                 budget -= 1;
+                issued_this_cycle += 1;
                 stats.extra.add("words_issued", 1);
             }
             // Sets whose words all arrived become buffered waves — or
@@ -288,6 +323,12 @@ pub fn simulate_conv_iteration(
                 break;
             }
         }
+        if issued_this_cycle > 0 {
+            sink.emit(|| TraceEvent::DistIssue {
+                cycle,
+                words: issued_this_cycle,
+            });
+        }
 
         // --- Compute: every lane with a buffered input set fires one
         // wave, provided the ART pipeline entrance is not blocked by
@@ -305,8 +346,17 @@ pub fn simulate_conv_iteration(
                 if (in_flight.len() as u64) < pipeline_room {
                     buffered[lane] -= 1;
                     fired[lane] += 1;
-                    in_flight.push_back(cycle);
+                    in_flight.push_back((cycle, lane as u32));
                     fired_this_cycle += 1;
+                    sink.emit(|| TraceEvent::VnReduceStart {
+                        cycle,
+                        lane: lane as u32,
+                    });
+                } else {
+                    sink.emit(|| TraceEvent::CollectStall {
+                        cycle,
+                        lane: lane as u32,
+                    });
                 }
             }
         }
@@ -315,11 +365,19 @@ pub fn simulate_conv_iteration(
             stats.busy_cycles += 1;
         }
         stats.collection_stall_cycles += wanted_to_fire - fired_this_cycle;
-        let starving = (0..lanes.len())
-            .filter(|&l| fired[l] < steps && buffered[l] == 0)
-            .count() as u64;
+        let mut starving = 0u64;
+        for lane in 0..lanes.len() {
+            if fired[lane] < steps && buffered[lane] == 0 {
+                starving += 1;
+                sink.emit(|| TraceEvent::DistStall {
+                    cycle,
+                    lane: lane as u32,
+                });
+            }
+        }
         stats.distribution_stall_cycles += starving;
     }
+    sink.emit(|| TraceEvent::RunEnd { cycle });
     stats.cycles = Cycle::new(cycle);
     stats.waves_completed = collected;
     stats
@@ -344,6 +402,25 @@ pub fn simulate_conv_layer(
     layer: &maeri_dnn::ConvLayer,
     policy: crate::mapper::VnPolicy,
 ) -> Result<TraceStats> {
+    simulate_conv_layer_probed(cfg, layer, policy, &mut NullSink)
+}
+
+/// [`simulate_conv_layer`] with probes: the weight multicast reports a
+/// [`TraceEvent::DistDelivery`] and the traced iteration streams its
+/// cycle-level events into `sink` (see
+/// [`simulate_conv_iteration_probed`]). Only the one traced iteration
+/// is probed — the scaled-out iterations are structurally identical, so
+/// the per-iteration event stream already describes all of them.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_conv_layer`].
+pub fn simulate_conv_layer_probed<S: TraceSink>(
+    cfg: &MaeriConfig,
+    layer: &maeri_dnn::ConvLayer,
+    policy: crate::mapper::VnPolicy,
+    sink: &mut S,
+) -> Result<TraceStats> {
     let mapper = crate::mapper::ConvMapper::new(*cfg);
     let plan = mapper.plan(layer, policy)?;
     // Per-step fresh inputs, mirroring the cost model.
@@ -362,9 +439,11 @@ pub fn simulate_conv_layer(
         plan.num_vns
     ];
     let steps = layer.out_w() as u64;
-    let one_iteration = simulate_conv_iteration(cfg, &lanes, steps, fresh)?;
+    let one_iteration = simulate_conv_iteration_probed(cfg, &lanes, steps, fresh, sink)?;
     let dist = cfg.distributor();
-    let weight_cycles = dist.multicast_cycles(layer.weight_count() as u64).as_u64();
+    let weight_cycles = dist
+        .multicast_cycles_probed(layer.weight_count() as u64, sink)
+        .as_u64();
     let mut total = one_iteration.clone();
     // Back-to-back iterations overlap in the ART pipeline: only the
     // first pays the fill latency the standalone trace includes.
@@ -382,6 +461,85 @@ pub fn simulate_conv_layer(
     total.extra.add("iterations", plan.iterations);
     total.extra.add("weight_cycles", weight_cycles);
     Ok(total)
+}
+
+/// Runs [`simulate_conv_layer_probed`] with a
+/// [`TelemetrySink`](maeri_telemetry::TelemetrySink) and reduces what
+/// it saw to per-run [`FabricTelemetry`]: per-level distribution link
+/// occupancy, multiplier busy fraction, stall fractions, ART usage, and
+/// the VN reduction-latency histogram. All fabric figures describe the
+/// one traced steady-state iteration (every iteration of a dense layer
+/// is structurally identical); the returned [`TraceStats`] is the
+/// whole-layer total, exactly as [`simulate_conv_layer`] reports it.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate_conv_layer`].
+pub fn simulate_conv_layer_telemetry(
+    cfg: &MaeriConfig,
+    layer: &maeri_dnn::ConvLayer,
+    policy: crate::mapper::VnPolicy,
+) -> Result<(TraceStats, FabricTelemetry)> {
+    let plan = crate::mapper::ConvMapper::new(*cfg).plan(layer, policy)?;
+    let mut sink = TelemetrySink::new();
+    let total = simulate_conv_layer_probed(cfg, layer, policy, &mut sink)?;
+    Ok((
+        total,
+        fabric_telemetry(cfg, &sink, plan.num_vns, plan.vn_size),
+    ))
+}
+
+/// Reduces an iteration's [`TelemetrySink`] to [`FabricTelemetry`].
+/// Only the simulator knows the denominators (link bandwidths, switch
+/// and lane counts), so the reduction lives here rather than in the
+/// telemetry crate.
+fn fabric_telemetry(
+    cfg: &MaeriConfig,
+    sink: &TelemetrySink,
+    num_vns: usize,
+    vn_size: usize,
+) -> FabricTelemetry {
+    let cycles = sink.end_cycle();
+    let chubby = cfg.distribution_chubby();
+    let levels = chubby.tree().levels();
+    // Unique injected words against each level's aggregate bandwidth —
+    // a lower bound, since free multicast replication is not re-counted.
+    let words = sink.words_issued() as f64;
+    let mut dist_level_utilization = Vec::with_capacity(levels.saturating_sub(1));
+    for level in 1..levels {
+        let capacity = cycles as f64 * chubby.level_aggregate_bandwidth(level) as f64;
+        dist_level_utilization.push(if capacity > 0.0 {
+            (words / capacity).min(1.0)
+        } else {
+            0.0
+        });
+    }
+    let mult_cycles = cfg.num_mult_switches() as f64 * cycles as f64;
+    let busy_mults = (sink.waves_started() * vn_size as u64) as f64;
+    let lane_cycles = num_vns as f64 * cycles as f64;
+    FabricTelemetry {
+        cycles,
+        dist_level_utilization,
+        mult_busy_fraction: if mult_cycles > 0.0 {
+            (busy_mults / mult_cycles).min(1.0)
+        } else {
+            0.0
+        },
+        dist_stall_fraction: if lane_cycles > 0.0 {
+            sink.dist_stall_lane_cycles() as f64 / lane_cycles
+        } else {
+            0.0
+        },
+        collect_stall_fraction: if lane_cycles > 0.0 {
+            sink.collect_stall_lane_cycles() as f64 / lane_cycles
+        } else {
+            0.0
+        },
+        art_active_adders: sink.art_active_adders(),
+        art_forward_links: sink.art_forward_links(),
+        vn_latency: sink.vn_latency().clone(),
+        events: sink.counts().clone(),
+    }
 }
 
 #[cfg(test)]

@@ -110,6 +110,36 @@ impl Distributor {
         self.delivery_cycles(unique_words, 1)
     }
 
+    /// [`Distributor::delivery_cycles`] that additionally reports the
+    /// delivery to a telemetry sink as one [`DistDelivery`] event
+    /// (a no-op for a disabled sink).
+    ///
+    /// [`DistDelivery`]: maeri_telemetry::TraceEvent::DistDelivery
+    pub fn delivery_cycles_probed<S: maeri_telemetry::TraceSink>(
+        &self,
+        unique_words: u64,
+        max_per_leaf: u64,
+        sink: &mut S,
+    ) -> Cycle {
+        let cycles = self.delivery_cycles(unique_words, max_per_leaf);
+        sink.emit(|| maeri_telemetry::TraceEvent::DistDelivery {
+            unique_words,
+            cycles: cycles.as_u64(),
+        });
+        cycles
+    }
+
+    /// [`Distributor::multicast_cycles`] with a [`DistDelivery`] probe.
+    ///
+    /// [`DistDelivery`]: maeri_telemetry::TraceEvent::DistDelivery
+    pub fn multicast_cycles_probed<S: maeri_telemetry::TraceSink>(
+        &self,
+        unique_words: u64,
+        sink: &mut S,
+    ) -> Cycle {
+        self.delivery_cycles_probed(unique_words, 1, sink)
+    }
+
     /// SRAM reads charged for a delivery: one read per unique word (a
     /// multicast reads its value once).
     #[must_use]

@@ -60,13 +60,11 @@ impl RunStats {
 
     /// Compute utilization: useful MACs over total MAC slots
     /// (`compute_units * cycles`). In `[0, 1]` for any causally
-    /// consistent run.
+    /// consistent run. Shares [`maeri_sim::util::utilization`] with the
+    /// network-level figure so the two agree bit for bit.
     #[must_use]
     pub fn utilization(&self) -> f64 {
-        if self.cycles.is_zero() {
-            return 0.0;
-        }
-        self.macs as f64 / (self.compute_units as f64 * self.cycles.as_f64())
+        maeri_sim::util::utilization(self.macs, self.compute_units, self.cycles.as_u64())
     }
 
     /// Throughput in MACs per cycle.

@@ -15,6 +15,7 @@
 use maeri_dnn::LstmLayer;
 use maeri_sim::util::ceil_div;
 use maeri_sim::{Cycle, Result};
+use maeri_telemetry::{NullSink, TraceSink};
 
 use super::span_capacity;
 use crate::art::{pack_vns_into_spans, ArtConfig};
@@ -52,8 +53,21 @@ impl LstmMapper {
     ///
     /// Propagates ART construction failures.
     pub fn run(&self, layer: &LstmLayer) -> Result<RunStats> {
-        let mut run = self.run_gate_phase(layer)?;
-        let state = self.run_state_phase(layer)?;
+        self.run_probed(layer, &mut NullSink)
+    }
+
+    /// [`LstmMapper::run`] with probes: both phases report their ART
+    /// configurations and closed-form distribution deliveries to
+    /// `sink`. `run` itself is this function with a
+    /// [`NullSink`](maeri_telemetry::NullSink), so the unprobed path is
+    /// structurally identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ART construction failures.
+    pub fn run_probed<S: TraceSink>(&self, layer: &LstmLayer, sink: &mut S) -> Result<RunStats> {
+        let mut run = self.run_gate_phase_probed(layer, sink)?;
+        let state = self.run_state_phase_probed(layer, sink)?;
         run.absorb(&state);
         run.label = layer.name.clone();
         Ok(run)
@@ -104,6 +118,19 @@ impl LstmMapper {
     ///
     /// Propagates ART construction failures.
     pub fn run_gate_phase(&self, layer: &LstmLayer) -> Result<RunStats> {
+        self.run_gate_phase_probed(layer, &mut NullSink)
+    }
+
+    /// [`LstmMapper::run_gate_phase`] with telemetry probes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ART construction failures.
+    pub fn run_gate_phase_probed<S: TraceSink>(
+        &self,
+        layer: &LstmLayer,
+        sink: &mut S,
+    ) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
         let dist = self.cfg.distributor();
         let spans = self.cfg.healthy_spans();
@@ -120,6 +147,7 @@ impl LstmMapper {
             &ranges,
             fault_plan.as_ref(),
         )?;
+        art.probe_configuration(sink);
         let slowdown = art.throughput_slowdown();
 
         // 4 gates x H neurons, each needing `fold` passes.
@@ -130,11 +158,13 @@ impl LstmMapper {
         // vector is reused across all four gates (the paper merges
         // steps 1 and 2), so it is charged once per `fold` segment.
         let weights_per_iter = (num_vns * vn_size) as u64;
-        let weight_cycles = dist.multicast_cycles(weights_per_iter).as_u64();
+        let weight_cycles = dist
+            .multicast_cycles_probed(weights_per_iter, sink)
+            .as_u64();
         let per_iter = (weight_cycles as f64).max(1.0).max(slowdown);
         let input_rounds = fold; // one multicast of each x-segment
         let input_cycles: u64 = (0..input_rounds)
-            .map(|_| dist.multicast_cycles(vn_size as u64).as_u64())
+            .map(|_| dist.multicast_cycles_probed(vn_size as u64, sink).as_u64())
             .sum();
         let cycles = 1
             + self.cfg.art_depth() as u64
@@ -161,6 +191,19 @@ impl LstmMapper {
     ///
     /// Propagates ART construction failures.
     pub fn run_state_phase(&self, layer: &LstmLayer) -> Result<RunStats> {
+        self.run_state_phase_probed(layer, &mut NullSink)
+    }
+
+    /// [`LstmMapper::run_state_phase`] with telemetry probes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ART construction failures.
+    pub fn run_state_phase_probed<S: TraceSink>(
+        &self,
+        layer: &LstmLayer,
+        sink: &mut S,
+    ) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
         let dist = self.cfg.distributor();
         let spans = self.cfg.healthy_spans();
@@ -182,11 +225,12 @@ impl LstmMapper {
             &ranges,
             fault_plan.as_ref(),
         )?;
+        art.probe_configuration(sink);
         let slowdown = art.throughput_slowdown();
         let state_iters = ceil_div(h, state_vns as u64);
         // Four operands per neuron: f, s_prev, i, t.
         let per_iter = (dist
-            .multicast_cycles(4 * state_vns.min(h as usize) as u64)
+            .multicast_cycles_probed(4 * state_vns.min(h as usize) as u64, sink)
             .as_u64() as f64)
             .max(1.0)
             .max(slowdown);
@@ -197,7 +241,7 @@ impl LstmMapper {
         // distribution/collection bound over the healthy switches.
         let out_iters = ceil_div(h, budget as u64);
         let out_lanes = budget.min(h as usize) as u64;
-        let out_per_iter = (dist.multicast_cycles(2 * out_lanes).as_u64())
+        let out_per_iter = (dist.multicast_cycles_probed(2 * out_lanes, sink).as_u64())
             .max(ceil_div(out_lanes, self.cfg.collect_bandwidth() as u64))
             .max(1);
         let out_cycles = 1 + out_iters * out_per_iter;

@@ -12,6 +12,7 @@
 use std::collections::VecDeque;
 
 use maeri_sim::{Cycle, Result, SimError};
+use maeri_telemetry::{NullSink, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 use crate::chubby::ChubbyTree;
@@ -49,6 +50,23 @@ pub struct DeliveryReport {
 /// Returns [`SimError::InvalidConfig`] for an empty batch and
 /// propagates bad destinations as panics from the routing layer.
 pub fn deliver(chubby: &ChubbyTree, packets: &[Packet]) -> Result<DeliveryReport> {
+    deliver_probed(chubby, packets, &mut NullSink)
+}
+
+/// [`deliver`] with probes: every packet movement reports the links it
+/// occupies ([`TraceEvent::LinkHop`]) and each completed delivery a
+/// [`TraceEvent::PacketDelivered`], closing with
+/// [`TraceEvent::RunEnd`]. `deliver` itself is this function with a
+/// [`NullSink`], so the unprobed path is structurally identical.
+///
+/// # Errors
+///
+/// Same conditions as [`deliver`].
+pub fn deliver_probed<S: TraceSink>(
+    chubby: &ChubbyTree,
+    packets: &[Packet],
+    sink: &mut S,
+) -> Result<DeliveryReport> {
     if packets.is_empty() {
         return Err(SimError::invalid_config("nothing to deliver"));
     }
@@ -94,8 +112,17 @@ pub fn deliver(chubby: &ChubbyTree, packets: &[Packet]) -> Result<DeliveryReport
             let capacity = chubby.link_bandwidth(next_level) * tree.nodes_at_level(next_level);
             if level_words[next_level] + links <= capacity {
                 level_words[next_level] += links;
+                sink.emit(|| TraceEvent::LinkHop {
+                    cycle,
+                    level: next_level as u32,
+                    links: links as u64,
+                });
                 if next_level == levels - 1 {
                     delivered_at[idx] = cycle;
+                    sink.emit(|| TraceEvent::PacketDelivered {
+                        cycle,
+                        id: packets[idx].id as u32,
+                    });
                 } else {
                     next_flight.push((idx, next_level));
                 }
@@ -116,8 +143,17 @@ pub fn deliver(chubby: &ChubbyTree, packets: &[Packet]) -> Result<DeliveryReport
             waiting.pop_front();
             level_words[1] += links;
             injected += 1;
+            sink.emit(|| TraceEvent::LinkHop {
+                cycle,
+                level: 1,
+                links: links as u64,
+            });
             if levels == 2 {
                 delivered_at[idx] = cycle;
+                sink.emit(|| TraceEvent::PacketDelivered {
+                    cycle,
+                    id: packets[idx].id as u32,
+                });
             } else {
                 next_flight.push((idx, 1));
             }
@@ -127,6 +163,7 @@ pub fn deliver(chubby: &ChubbyTree, packets: &[Packet]) -> Result<DeliveryReport
         }
         in_flight = next_flight;
     }
+    sink.emit(|| TraceEvent::RunEnd { cycle });
     Ok(DeliveryReport {
         finish_cycle: Cycle::new(cycle),
         delivered_at,

@@ -1,7 +1,9 @@
 //! Simulation job descriptions and their content-hash identity.
 
 use maeri::analytic;
-use maeri::cycle_sim::{simulate_conv_iteration, LaneSpec, TraceStats};
+use maeri::cycle_sim::{
+    simulate_conv_iteration, simulate_conv_layer_telemetry, LaneSpec, TraceStats,
+};
 use maeri::{
     ConvMapper, CrossLayerMapper, FcMapper, LstmMapper, MaeriConfig, PoolMapper, SparseConvMapper,
     VnPolicy,
@@ -10,7 +12,7 @@ use maeri_baselines::{FixedClusterArray, RowStationary, SystolicArray};
 use maeri_dnn::{ConvLayer, FcLayer, LstmLayer, PoolLayer, WeightMask};
 use maeri_sim::SimRng;
 
-use crate::output::{JobResult, SimOutput};
+use crate::output::{JobResult, SimOutput, TelemetryRun};
 
 /// The modelling fidelity a job runs at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -163,6 +165,18 @@ pub enum SimJob {
         /// Input words multicast to every lane per step.
         shared_inputs: usize,
     },
+    /// Clocked cycle-trace of a full CONV layer with fabric telemetry
+    /// captured ([`Fidelity::CycleTrace`]): link utilization per tree
+    /// level, multiplier busy fraction, stall fractions, and the
+    /// VN-latency histogram.
+    TelemetryConv {
+        /// Fabric configuration.
+        cfg: MaeriConfig,
+        /// Layer to map.
+        layer: ConvLayer,
+        /// VN-sizing policy.
+        policy: VnPolicy,
+    },
     /// Scheduler health-check probe. Completes immediately, panics
     /// with the given message, or stalls for a fixed wall-clock time —
     /// used to verify panic isolation and the timeout watchdog.
@@ -238,6 +252,13 @@ impl SimJob {
         }
     }
 
+    /// Telemetry-instrumented CONV on MAERI (see
+    /// [`SimJob::TelemetryConv`]).
+    #[must_use]
+    pub fn telemetry_conv(cfg: MaeriConfig, layer: ConvLayer, policy: VnPolicy) -> Self {
+        SimJob::TelemetryConv { cfg, layer, policy }
+    }
+
     /// A probe that succeeds immediately.
     #[must_use]
     pub fn health_check() -> Self {
@@ -270,7 +291,7 @@ impl SimJob {
     #[must_use]
     pub fn fidelity(&self) -> Fidelity {
         match self {
-            SimJob::ConvTrace { .. } => Fidelity::CycleTrace,
+            SimJob::ConvTrace { .. } | SimJob::TelemetryConv { .. } => Fidelity::CycleTrace,
             _ => Fidelity::Analytic,
         }
     }
@@ -298,6 +319,7 @@ impl SimJob {
             SimJob::AnalyticSystolic { layer, .. } => format!("analytic/systolic/{}", layer.name),
             SimJob::AnalyticMaeri { layer, .. } => format!("analytic/maeri/{}", layer.name),
             SimJob::ConvTrace { lanes, .. } => format!("trace/conv/{}lanes", lanes.len()),
+            SimJob::TelemetryConv { layer, .. } => format!("telemetry/conv/{}", layer.name),
             SimJob::Probe {
                 panic_with,
                 stall_ms,
@@ -405,6 +427,13 @@ impl SimJob {
                 let trace: TraceStats =
                     simulate_conv_iteration(cfg, lanes, *steps, *shared_inputs)?;
                 Ok(SimOutput::Trace(trace))
+            }
+            SimJob::TelemetryConv { cfg, layer, policy } => {
+                let (trace, fabric) = simulate_conv_layer_telemetry(cfg, layer, *policy)?;
+                Ok(SimOutput::Telemetry(Box::new(TelemetryRun {
+                    trace,
+                    fabric,
+                })))
             }
             SimJob::Probe {
                 panic_with,
@@ -573,6 +602,12 @@ impl SimJob {
                 }
                 enc.u64(*steps);
                 enc.usize(*shared_inputs);
+            }
+            SimJob::TelemetryConv { cfg, layer, policy } => {
+                enc.tag(15);
+                enc.config(cfg);
+                enc.conv(layer);
+                enc.policy(policy);
             }
             SimJob::Probe {
                 panic_with,
@@ -799,6 +834,28 @@ mod tests {
         assert_ne!(SimJob::health_check().key(), SimJob::wedge(10).key());
         assert_ne!(SimJob::wedge(10).key(), SimJob::wedge(20).key());
         assert_eq!(SimJob::wedge(10).label(), "probe/wedge");
+    }
+
+    #[test]
+    fn telemetry_conv_keys_apart_from_dense_conv() {
+        let dense = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        let telemetry = SimJob::telemetry_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        assert_ne!(dense.key(), telemetry.key());
+        assert_eq!(telemetry.fidelity(), Fidelity::CycleTrace);
+        assert_eq!(telemetry.label(), "telemetry/conv/k");
+    }
+
+    #[test]
+    fn telemetry_conv_carries_trace_and_fabric() {
+        let job = SimJob::telemetry_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        let out = job.execute().unwrap();
+        let run = out.telemetry().expect("telemetry output");
+        assert!(run.trace.cycles.as_u64() > 0);
+        assert!(run.fabric.cycles > 0);
+        assert!(run.fabric.total_events() > 0);
+        assert_eq!(out.trace_stats(), Some(&run.trace));
+        let again = job.execute().unwrap();
+        assert_eq!(out.canonical_text(), again.canonical_text());
     }
 
     #[test]

@@ -62,6 +62,6 @@ mod supervise;
 pub use cache::ResultCache;
 pub use job::{Fidelity, JobKey, SimJob};
 pub use metrics::{MetricsSnapshot, PhaseStats, RuntimeMetrics};
-pub use output::{canonical_result_text, JobError, JobResult, SimOutput};
+pub use output::{canonical_result_text, JobError, JobResult, SimOutput, TelemetryRun};
 pub use runtime::Runtime;
 pub use supervise::RetryPolicy;

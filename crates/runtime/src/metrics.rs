@@ -4,6 +4,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use maeri_telemetry::json::JsonValue;
+
 /// Wall-clock accounting for one named batch (a "phase": e.g. one
 /// figure's sweep inside `regen_all`).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +37,10 @@ pub struct MetricsSnapshot {
     pub timeouts: u64,
     /// Highest number of jobs simultaneously in flight on the queue.
     pub queue_high_water: usize,
+    /// Freshly-executed jobs that carried fabric telemetry.
+    pub telemetry_runs: u64,
+    /// Total trace events those telemetry runs recorded.
+    pub telemetry_events: u64,
     /// Per-phase wall-time log, in submission order.
     pub phases: Vec<PhaseStats>,
 }
@@ -66,6 +72,12 @@ impl MetricsSnapshot {
             "  queue high-water: {} in flight\n",
             self.queue_high_water
         ));
+        if self.telemetry_runs > 0 {
+            out.push_str(&format!(
+                "  telemetry: {} instrumented runs, {} trace events\n",
+                self.telemetry_runs, self.telemetry_events
+            ));
+        }
         if !self.phases.is_empty() {
             out.push_str("  phases:\n");
             let width = self.phases.iter().map(|p| p.name.len()).max().unwrap_or(0);
@@ -83,6 +95,40 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// The snapshot as a JSON document (used by `regen_all --json`).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        let phases = self
+            .phases
+            .iter()
+            .map(|phase| {
+                JsonValue::object()
+                    .with("name", JsonValue::Str(phase.name.clone()))
+                    .with("jobs", JsonValue::UInt(phase.jobs as u64))
+                    .with("cache_hits", JsonValue::UInt(phase.cache_hits as u64))
+                    .with("wall_us", JsonValue::UInt(phase.wall.as_micros() as u64))
+            })
+            .collect();
+        JsonValue::object()
+            .with("submitted", JsonValue::UInt(self.submitted))
+            .with("executed", JsonValue::UInt(self.executed))
+            .with("failed", JsonValue::UInt(self.failed))
+            .with("cache_hits", JsonValue::UInt(self.cache_hits))
+            .with("retries", JsonValue::UInt(self.retries))
+            .with("timeouts", JsonValue::UInt(self.timeouts))
+            .with(
+                "queue_high_water",
+                JsonValue::UInt(self.queue_high_water as u64),
+            )
+            .with("telemetry_runs", JsonValue::UInt(self.telemetry_runs))
+            .with("telemetry_events", JsonValue::UInt(self.telemetry_events))
+            .with(
+                "total_wall_us",
+                JsonValue::UInt(self.total_wall().as_micros() as u64),
+            )
+            .with("phases", JsonValue::Array(phases))
+    }
 }
 
 /// Shared counters updated by the runtime and its workers.
@@ -94,6 +140,8 @@ pub struct RuntimeMetrics {
     cache_hits: AtomicU64,
     retries: AtomicU64,
     timeouts: AtomicU64,
+    telemetry_runs: AtomicU64,
+    telemetry_events: AtomicU64,
     in_flight: AtomicUsize,
     queue_high_water: AtomicUsize,
     phases: Mutex<Vec<PhaseStats>>,
@@ -131,6 +179,12 @@ impl RuntimeMetrics {
         self.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one freshly-executed telemetry run and its trace events.
+    pub(crate) fn record_telemetry(&self, events: u64) {
+        self.telemetry_runs.fetch_add(1, Ordering::Relaxed);
+        self.telemetry_events.fetch_add(events, Ordering::Relaxed);
+    }
+
     /// Marks one job entering the queue and updates the high-water mark.
     pub(crate) fn job_enqueued(&self) {
         let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
@@ -162,6 +216,8 @@ impl RuntimeMetrics {
             retries: self.retries.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            telemetry_runs: self.telemetry_runs.load(Ordering::Relaxed),
+            telemetry_events: self.telemetry_events.load(Ordering::Relaxed),
             phases: self
                 .phases
                 .lock()
@@ -219,6 +275,39 @@ mod tests {
         assert!(text.contains("figure12"));
         assert!(text.contains("headline"));
         assert!(text.contains("total wall"));
+    }
+
+    #[test]
+    fn telemetry_line_appears_only_with_instrumented_runs() {
+        let metrics = RuntimeMetrics::new();
+        assert!(!metrics.snapshot().render().contains("telemetry"));
+        metrics.record_telemetry(120);
+        metrics.record_telemetry(80);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.telemetry_runs, 2);
+        assert_eq!(snap.telemetry_events, 200);
+        assert!(snap
+            .render()
+            .contains("telemetry: 2 instrumented runs, 200 trace events"));
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_complete() {
+        let metrics = RuntimeMetrics::new();
+        metrics.record_submitted(3);
+        metrics.record_executed(false);
+        metrics.record_telemetry(42);
+        metrics.record_phase(PhaseStats {
+            name: "fig\"12\"".into(), // exercises string escaping
+            jobs: 3,
+            cache_hits: 1,
+            wall: Duration::from_millis(7),
+        });
+        let text = metrics.snapshot().to_json().render();
+        maeri_telemetry::json::validate(&text).expect("snapshot JSON must parse");
+        assert!(text.contains("\"telemetry_events\":42"));
+        assert!(text.contains("\"phases\""));
+        assert!(text.contains("\\\"12\\\""));
     }
 
     #[test]

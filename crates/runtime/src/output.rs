@@ -6,6 +6,18 @@ use maeri::analytic::AnalyticResult;
 use maeri::cycle_sim::TraceStats;
 use maeri::RunStats;
 use maeri_sim::SimError;
+use maeri_telemetry::FabricTelemetry;
+
+/// A clocked cycle-trace plus the fabric telemetry captured while it
+/// ran: per-level link utilization, multiplier busy fraction, stall
+/// fractions, ART configuration, and the VN-latency histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryRun {
+    /// The trace statistics of the run (cycles, waves, stalls).
+    pub trace: TraceStats,
+    /// The fabric-level telemetry reduced from the probe stream.
+    pub fabric: FabricTelemetry,
+}
 
 /// What one completed [`crate::SimJob`] produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,6 +28,10 @@ pub enum SimOutput {
     Analytic(AnalyticResult),
     /// A clocked cycle-trace of one mapping iteration.
     Trace(TraceStats),
+    /// A clocked cycle-trace with fabric telemetry attached (boxed:
+    /// telemetry carries a histogram and per-kind event counts, much
+    /// larger than the other outputs).
+    Telemetry(Box<TelemetryRun>),
 }
 
 impl SimOutput {
@@ -63,11 +79,22 @@ impl SimOutput {
         }
     }
 
-    /// The trace statistics, if this output is a cycle-trace.
+    /// The trace statistics, if this output is a cycle-trace (with or
+    /// without telemetry attached).
     #[must_use]
     pub fn trace_stats(&self) -> Option<&TraceStats> {
         match self {
             SimOutput::Trace(stats) => Some(stats),
+            SimOutput::Telemetry(run) => Some(&run.trace),
+            _ => None,
+        }
+    }
+
+    /// The telemetry run, if this output carries fabric telemetry.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&TelemetryRun> {
+        match self {
+            SimOutput::Telemetry(run) => Some(run),
             _ => None,
         }
     }
@@ -77,6 +104,7 @@ impl SimOutput {
             SimOutput::Run(_) => "run statistics",
             SimOutput::Analytic(_) => "analytic result",
             SimOutput::Trace(_) => "trace statistics",
+            SimOutput::Telemetry(_) => "telemetry run",
         }
     }
 
@@ -121,6 +149,13 @@ impl SimOutput {
                 trace.distribution_stall_cycles,
                 trace.collection_stall_cycles,
                 extras(&trace.extra),
+            ),
+            SimOutput::Telemetry(run) => format!(
+                "telemetry trace=[{}] fabric=[{}]",
+                SimOutput::Trace(run.trace.clone()).canonical_text(),
+                // The fabric rendering is multi-line for human output;
+                // flatten it so the canonical form stays one line.
+                run.fabric.canonical_text().trim_end().replace('\n', "; "),
             ),
         }
     }

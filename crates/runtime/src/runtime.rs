@@ -12,7 +12,7 @@ use maeri_dnn::Layer;
 use crate::cache::ResultCache;
 use crate::job::{JobKey, SimJob};
 use crate::metrics::{MetricsSnapshot, PhaseStats, RuntimeMetrics};
-use crate::output::JobResult;
+use crate::output::{JobResult, SimOutput};
 use crate::pool::WorkerPool;
 use crate::supervise::RetryPolicy;
 
@@ -121,6 +121,7 @@ impl Runtime {
         } else {
             // The supervisor records per-attempt executed/failed counts.
             let result = crate::supervise::execute_supervised(job, &self.policy, &self.metrics);
+            self.record_telemetry(&result);
             self.cache.insert(key, result.clone());
             (result, false)
         };
@@ -131,6 +132,14 @@ impl Runtime {
             wall: start.elapsed(),
         });
         result
+    }
+
+    /// Accounts a freshly-executed result's fabric telemetry (cache
+    /// hits are deliberately not re-counted).
+    fn record_telemetry(&self, result: &JobResult) {
+        if let Ok(SimOutput::Telemetry(run)) = result {
+            self.metrics.record_telemetry(run.fabric.total_events());
+        }
     }
 
     /// Runs a batch under an anonymous phase label.
@@ -179,6 +188,7 @@ impl Runtime {
         drop(reply_tx);
         for (ticket, result) in reply_rx {
             let key = misses[ticket as usize].0.clone();
+            self.record_telemetry(&result);
             self.cache.insert(key.clone(), result.clone());
             completed.insert(key, result);
         }
@@ -338,6 +348,20 @@ mod tests {
         let solo = runtime.run_one(&job);
         let batched = Runtime::new(1).run_batch(std::slice::from_ref(&job));
         assert_eq!(solo, batched[0]);
+    }
+
+    #[test]
+    fn telemetry_jobs_feed_the_telemetry_counters() {
+        let runtime = Runtime::new(2);
+        let job = SimJob::telemetry_conv(MaeriConfig::paper_64(), layer("probe"), VnPolicy::Auto);
+        let results = runtime.run_batch(std::slice::from_ref(&job));
+        let run = results[0].as_ref().unwrap().telemetry().unwrap();
+        let snap = runtime.metrics();
+        assert_eq!(snap.telemetry_runs, 1);
+        assert_eq!(snap.telemetry_events, run.fabric.total_events());
+        // A cache hit must not inflate the counters.
+        let _ = runtime.run_one(&job);
+        assert_eq!(runtime.metrics().telemetry_runs, 1);
     }
 
     #[test]

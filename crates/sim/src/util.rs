@@ -88,6 +88,27 @@ pub fn geomean(values: &[f64]) -> Option<f64> {
     Some((log_sum / values.len() as f64).exp())
 }
 
+/// Compute utilization: useful work units over total unit-slots
+/// (`units * cycles`). Returns 0.0 for a zero-cycle or zero-unit run
+/// instead of dividing by zero — downstream reports feed this straight
+/// into tables. This is the single definition shared by every
+/// layer-level and network-level utilization figure, so the two always
+/// agree bit for bit.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(maeri_sim::util::utilization(96, 64, 2), 0.75);
+/// assert_eq!(maeri_sim::util::utilization(0, 64, 0), 0.0);
+/// ```
+#[must_use]
+pub fn utilization(work: u64, units: usize, cycles: u64) -> f64 {
+    if cycles == 0 || units == 0 {
+        return 0.0;
+    }
+    work as f64 / (units as f64 * cycles as f64)
+}
+
 /// Arithmetic mean; `None` when empty.
 ///
 /// # Example
@@ -146,6 +167,15 @@ mod tests {
         assert_eq!(geomean(&[2.0]), Some(2.0));
         let gm = geomean(&[2.0, 8.0]).unwrap();
         assert!((gm - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_guards_zero_denominators() {
+        assert_eq!(utilization(128, 64, 2), 1.0);
+        assert_eq!(utilization(64, 64, 2), 0.5);
+        assert_eq!(utilization(5, 0, 2), 0.0);
+        assert_eq!(utilization(5, 64, 0), 0.0);
+        assert!(utilization(u64::MAX, 1, 1).is_finite());
     }
 
     #[test]

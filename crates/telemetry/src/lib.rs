@@ -1,0 +1,55 @@
+//! # maeri-telemetry — cycle-level fabric observability
+//!
+//! The paper's evaluation is entirely about *where cycles go* inside
+//! the fabric: distribution-tree bandwidth, ART reduction latency,
+//! multiplier utilization under different virtual-neuron partitions.
+//! The simulator crates clock those cycles; this crate watches them.
+//!
+//! The design is a classic probe/sink split:
+//!
+//! * [`TraceEvent`] is the event vocabulary — everything a clocked
+//!   simulation can say about one cycle (words injected, flits dropped,
+//!   reduction waves started/completed, stalls, link hops);
+//! * [`TraceSink`] is the consumer interface. Simulation hot loops are
+//!   generic over `S: TraceSink` and call [`TraceSink::emit`], which
+//!   checks the sink's compile-time [`TraceSink::ENABLED`] flag
+//!   *before* constructing the event. With [`NullSink`] the whole probe
+//!   monomorphizes away — a disabled-telemetry run compiles to the same
+//!   loop as an uninstrumented one;
+//! * [`CountingSink`] tallies events by kind, [`TelemetrySink`]
+//!   additionally accumulates the raw material for per-run
+//!   [`FabricTelemetry`] aggregates, and [`ChromeTraceSink`] records
+//!   the full event stream and exports it as Chrome trace-event JSON
+//!   loadable in `chrome://tracing` / `ui.perfetto.dev`.
+//!
+//! # Example
+//!
+//! ```
+//! use maeri_telemetry::{CountingSink, NullSink, TraceEvent, TraceSink};
+//!
+//! fn hot_loop<S: TraceSink>(sink: &mut S) {
+//!     for cycle in 0..4u64 {
+//!         sink.emit(|| TraceEvent::DistIssue { cycle, words: 8 });
+//!     }
+//! }
+//!
+//! hot_loop(&mut NullSink); // compiles to nothing
+//! let mut counting = CountingSink::new();
+//! hot_loop(&mut counting);
+//! assert_eq!(counting.count("dist_issue"), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod fabric;
+mod sink;
+
+pub mod json;
+
+pub use chrome::ChromeTraceSink;
+pub use event::TraceEvent;
+pub use fabric::FabricTelemetry;
+pub use sink::{CountingSink, NullSink, TelemetrySink, TraceSink};

@@ -1,0 +1,41 @@
+//! Dump a chrome://tracing-loadable timeline of one CONV layer.
+//!
+//! Runs a single convolution through the clocked fabric simulator with
+//! a [`ChromeTraceSink`] attached: every distribution issue, VN
+//! reduction, stall, and flit event becomes a Chrome trace event
+//! (1 cycle = 1 µs). The JSON goes to stdout; load it via
+//!
+//! `cargo run --example trace_vn > vn.trace.json`
+//!
+//! then open `chrome://tracing` (or <https://ui.perfetto.dev>) and drop
+//! the file in. Each VN lane gets its own track; completed reductions
+//! show as duration slices whose length is the VN's reduction latency.
+
+use maeri_repro::dnn::ConvLayer;
+use maeri_repro::fabric::cycle_sim::simulate_conv_layer_probed;
+use maeri_repro::fabric::{MaeriConfig, VnPolicy};
+use maeri_repro::telemetry::{json, ChromeTraceSink};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // AlexNet C3-shaped layer on the paper's 64-switch fabric.
+    let cfg = MaeriConfig::paper_64();
+    let layer = ConvLayer::new("alexnet_c3", 256, 13, 13, 384, 3, 3, 1, 1);
+
+    let mut sink = ChromeTraceSink::new();
+    let trace = simulate_conv_layer_probed(&cfg, &layer, VnPolicy::Auto, &mut sink)?;
+
+    let rendered = sink.render();
+    // Self-check before handing the file to a browser.
+    json::validate(&rendered).map_err(|e| format!("emitted invalid trace JSON: {e}"))?;
+    println!("{rendered}");
+
+    // Summary on stderr so stdout stays a clean JSON document.
+    eprintln!(
+        "{}: {} cycles, {} waves, {} trace events -> load stdout in chrome://tracing",
+        layer.name,
+        trace.cycles.as_u64(),
+        trace.waves_completed,
+        sink.len(),
+    );
+    Ok(())
+}

@@ -17,7 +17,9 @@
 //! * [`ppa`] — the calibrated 28 nm area/power model ([`maeri_ppa`]),
 //! * [`runtime`] — parallel batch execution: simulation jobs, the
 //!   worker-pool scheduler, result caching ([`maeri_runtime`]),
-//! * [`sim`] — cycles, statistics, RNG, tables ([`maeri_sim`]).
+//! * [`sim`] — cycles, statistics, RNG, tables ([`maeri_sim`]),
+//! * [`telemetry`] — cycle-level fabric observability: trace probes,
+//!   event sinks, Chrome-trace export ([`maeri_telemetry`]).
 //!
 //! # Quick start
 //!
@@ -59,3 +61,6 @@ pub use maeri_runtime as runtime;
 
 /// Simulation kernel (re-export of `maeri-sim`).
 pub use maeri_sim as sim;
+
+/// Fabric telemetry (re-export of `maeri-telemetry`).
+pub use maeri_telemetry as telemetry;
