@@ -1,0 +1,6 @@
+//! Prints the mapping-search report: the auto-tuner versus the
+//! heuristic mappers across the DNN zoo's layer kinds.
+
+fn main() {
+    maeri_bench::reports::mapping_search::run();
+}

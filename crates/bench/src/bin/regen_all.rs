@@ -31,7 +31,7 @@ fn main() {
     }
 
     let start = Instant::now();
-    for (_, run) in REPORTS {
+    for (_, _, run) in REPORTS {
         run();
         println!();
     }

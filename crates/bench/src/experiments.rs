@@ -15,6 +15,7 @@ use maeri::engine::RunStats;
 use maeri::{FaultSpec, MaeriConfig, VnPolicy};
 use maeri_dnn::layer::Layer;
 use maeri_dnn::{zoo, ConvLayer};
+use maeri_mapspace::{SearchLayer, SearchResult, SearchSpec};
 use maeri_noc::ppa::{compare_all, NocKind, NocPpa};
 use maeri_noc::reduction::{utilization_sweep, ReductionKind};
 use maeri_ppa::DesignPoint;
@@ -583,6 +584,59 @@ pub fn telemetry_profile() -> Vec<TelemetryRow> {
                 art_active_adders: run.fabric.art_active_adders,
                 events: run.fabric.total_events(),
             }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------- mapping search
+
+/// The layer searches of the `mapping_search` report: every Figure 12
+/// CONV layer, AlexNet's two big FC layers, a DeepSpeech2 recurrent
+/// layer, and the sparse VGG16-C8 layer — all tuned exhaustively on the
+/// paper's 64-switch fabric.
+#[must_use]
+pub fn mapping_search_specs() -> Vec<SearchSpec> {
+    let cfg = paper_config();
+    let mut specs: Vec<SearchSpec> = zoo::fig12_layers()
+        .into_iter()
+        .map(|layer| SearchSpec::new(SearchLayer::Conv(layer), cfg))
+        .collect();
+    let alexnet = zoo::alexnet();
+    for name in ["alexnet_fc6", "alexnet_fc7"] {
+        if let Some(Layer::Fc(l)) = alexnet.layer(name) {
+            specs.push(SearchSpec::new(SearchLayer::Fc(l.clone()), cfg));
+        }
+    }
+    if let Some(Layer::Lstm(l)) = zoo::deepspeech2().layer("ds2_rnn2") {
+        specs.push(SearchSpec::new(SearchLayer::Lstm(l.clone()), cfg));
+    }
+    specs.push(SearchSpec::new(
+        SearchLayer::SparseConv {
+            layer: zoo::vgg16_c8(),
+            zero_fraction: 0.6,
+            mask_seed: EXPERIMENT_SEED,
+        },
+        cfg,
+    ));
+    specs
+}
+
+/// Runs the mapping-space auto-tuner over [`mapping_search_specs`] as
+/// one runtime batch (parallel across workers, cached by content hash)
+/// and returns the per-layer results in spec order.
+#[must_use]
+pub fn mapping_search() -> Vec<SearchResult> {
+    let jobs: Vec<SimJob> = mapping_search_specs()
+        .into_iter()
+        .map(SimJob::map_search)
+        .collect();
+    Runtime::global()
+        .run_phase("mapping_search", &jobs)
+        .into_iter()
+        .map(|result| {
+            result
+                .expect("every zoo search spec is well-formed")
+                .into_search()
         })
         .collect()
 }

@@ -19,6 +19,7 @@
 //! | `figure16` | Fig. 16 — NoC area/power vs bandwidth |
 //! | `figure17` | Fig. 17 — systolic vs MAERI walk-through |
 //! | `headline` | abstract's 8-459 % utilization-improvement range |
+//! | `mapping_search` | auto-tuned vs heuristic mappings across the zoo |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -18,26 +18,30 @@ pub mod figure15;
 pub mod figure16;
 pub mod figure17;
 pub mod headline;
+pub mod mapping_search;
 pub mod table1;
 pub mod table3;
 pub mod telemetry_profile;
 
-/// Every report in regeneration order: `(name, printer)`.
-pub const REPORTS: &[(&str, fn())] = &[
-    ("table1", table1::run),
-    ("table3", table3::run),
-    ("figure11", figure11::run),
-    ("figure12", figure12::run),
-    ("figure13", figure13::run),
-    ("figure14", figure14::run),
-    ("figure15", figure15::run),
-    ("figure16", figure16::run),
-    ("figure17", figure17::run),
-    ("headline", headline::run),
-    ("ablations", ablations::run),
-    ("energy", energy::run),
-    ("fault_sweep", fault_sweep::run),
-    ("telemetry_profile", telemetry_profile::run),
+/// Every report in regeneration order: `(id, name, printer)`. Report
+/// IDs are stable handles quoted by `EXPERIMENTS.md`; they start at 1
+/// and stay contiguous (a registry test enforces both).
+pub const REPORTS: &[(usize, &str, fn())] = &[
+    (1, "table1", table1::run),
+    (2, "table3", table3::run),
+    (3, "figure11", figure11::run),
+    (4, "figure12", figure12::run),
+    (5, "figure13", figure13::run),
+    (6, "figure14", figure14::run),
+    (7, "figure15", figure15::run),
+    (8, "figure16", figure16::run),
+    (9, "figure17", figure17::run),
+    (10, "headline", headline::run),
+    (11, "ablations", ablations::run),
+    (12, "energy", energy::run),
+    (13, "fault_sweep", fault_sweep::run),
+    (14, "telemetry_profile", telemetry_profile::run),
+    (15, "mapping_search", mapping_search::run),
 ];
 
 #[cfg(test)]
@@ -46,10 +50,22 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(REPORTS.len(), 14);
-        let mut names: Vec<&str> = REPORTS.iter().map(|(n, _)| *n).collect();
+        assert_eq!(REPORTS.len(), 15);
+        let mut names: Vec<&str> = REPORTS.iter().map(|(_, n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), REPORTS.len(), "duplicate report name");
+    }
+
+    #[test]
+    fn report_ids_are_unique_and_contiguous() {
+        for (position, (id, name, _)) in REPORTS.iter().enumerate() {
+            assert_eq!(
+                *id,
+                position + 1,
+                "report {name} must carry id {} (ids start at 1, no gaps)",
+                position + 1
+            );
+        }
     }
 }

@@ -21,7 +21,11 @@
 
 use maeri_dnn::ConvLayer;
 use maeri_sim::util::ceil_div;
+use maeri_sim::Result;
 use serde::{Deserialize, Serialize};
+
+use crate::mapper::{ConvMapper, VnPolicy};
+use crate::MaeriConfig;
 
 /// Result of an analytic walk-through.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -134,6 +138,60 @@ pub fn maeri_example(layer: &ConvLayer, num_ms: usize, dist_bw: usize) -> Analyt
         sram_reads: weight_reads + input_reads,
         breakdown,
     }
+}
+
+/// General analytic cycle estimate of a CONV mapping on an arbitrary
+/// fabric: plans the layer under `policy` and applies the closed-form
+/// cost model of [`ConvMapper`] — the same steady-state bandwidth
+/// counting the clocked trace in [`crate::cycle_sim`] validates (see
+/// `tests/analytic_vs_cycle.rs` for the fidelity bound). This is the
+/// fast scoring function the mapping-space search (`maeri-mapspace`)
+/// uses to rank candidates before cycle-accurate validation.
+///
+/// # Errors
+///
+/// Propagates planning failures (invalid tile, unmappable fabric).
+pub fn conv_mapping(
+    cfg: &MaeriConfig,
+    layer: &ConvLayer,
+    policy: VnPolicy,
+) -> Result<AnalyticResult> {
+    let mapper = ConvMapper::new(*cfg);
+    let plan = mapper.plan(layer, policy)?;
+    let run = mapper.cost(layer, &plan);
+    let breakdown = vec![
+        format!(
+            "{} VNs of {} leaves (tile {}, {} segments x {} subfolds, {:?})",
+            plan.num_vns,
+            plan.vn_size,
+            plan.channel_tile,
+            plan.segments,
+            plan.subfold,
+            plan.loop_order
+        ),
+        format!(
+            "{} iterations x {} output steps, {} fresh words/step over {}-wide distribution",
+            plan.iterations,
+            layer.out_w(),
+            plan.step_inputs(layer),
+            cfg.dist_bandwidth()
+        ),
+        format!(
+            "total {} cycles, {} SRAM reads",
+            run.cycles.as_u64(),
+            run.sram_reads
+        ),
+    ];
+    Ok(AnalyticResult {
+        design: format!(
+            "MAERI {}-MS analytic mapping of {}",
+            cfg.num_mult_switches(),
+            layer.name
+        ),
+        cycles: run.cycles.as_u64(),
+        sram_reads: run.sram_reads,
+        breakdown,
+    })
 }
 
 /// The paper's literally stated decomposition for the 64-MS MAERI run:

@@ -423,13 +423,11 @@ pub fn simulate_conv_layer_probed<S: TraceSink>(
 ) -> Result<TraceStats> {
     let mapper = crate::mapper::ConvMapper::new(*cfg);
     let plan = mapper.plan(layer, policy)?;
-    // Per-step fresh inputs, mirroring the cost model.
-    let stride = layer.stride as u64;
-    let rows_piece = maeri_sim::util::ceil_div(layer.kernel_h as u64, plan.subfold as u64);
-    let row_groups = maeri_sim::util::ceil_div(plan.num_vns as u64, layer.out_channels as u64);
-    let rows_touched = row_groups * stride + rows_piece.saturating_sub(stride.min(rows_piece));
-    let cols_new = stride.min(layer.kernel_w as u64);
-    let fresh = (rows_touched * cols_new * plan.channel_tile as u64) as usize;
+    // Per-step fresh inputs: the plan's definition is shared with the
+    // closed-form cost model, so trace and model count the same input
+    // traffic (including the padded-image row clamp and the loop-order
+    // row spread).
+    let fresh = plan.step_inputs(layer) as usize;
     let lanes = vec![
         LaneSpec {
             vn_size: plan.vn_size,

@@ -68,6 +68,6 @@ pub use config::{MaeriConfig, MaeriConfigBuilder};
 pub use engine::RunStats;
 pub use fault::{FaultPlan, FaultSpec};
 pub use mapper::{
-    ConvMapper, CrossLayerMapper, FcMapper, FoldMode, LstmMapper, PoolMapper, SparseConvMapper,
-    VnPolicy,
+    CandidateKind, ConvMapper, ConvMapping, CrossLayerMapper, FcMapper, FoldMode, LoopOrder,
+    LstmMapper, MappingCandidate, PoolMapper, SparseConvMapper, VnPolicy,
 };

@@ -51,6 +51,37 @@ pub enum FoldMode {
     PbRoundTrip,
 }
 
+/// Order in which output work units are tiled over the simultaneous
+/// VNs within one iteration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LoopOrder {
+    /// Lanes take distinct filters first (maximal input multicast:
+    /// every lane shares one sliding window), spilling to further
+    /// output rows only when there are more lanes than filters.
+    #[default]
+    FilterMajor,
+    /// Lanes take distinct output rows first: each lane slides its own
+    /// window, so per-step fresh-input traffic grows with the lane
+    /// count instead of `ceil(lanes / K)`.
+    RowMajor,
+}
+
+/// An explicit CONV mapping point: every knob the mapping-space search
+/// (`maeri-mapspace`) enumerates. [`ConvMapper::heuristic_mapping`]
+/// resolves the [`VnPolicy::Auto`] heuristic to one of these, making
+/// the legacy mapper a named point in the same space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvMapping {
+    /// Channels covered per VN (`1..=C`).
+    pub channel_tile: usize,
+    /// Replication cap: at most this many VNs are mapped
+    /// simultaneously (the packer may place fewer when the healthy
+    /// leaves run out). Use `num_mult_switches` for "as many as fit".
+    pub max_vns: usize,
+    /// How work units tile over the simultaneous VNs.
+    pub loop_order: LoopOrder,
+}
+
 /// How to size virtual neurons for a CONV layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -62,6 +93,9 @@ pub enum VnPolicy {
     /// Choose the channel tile that maximizes multiplier coverage,
     /// breaking ties toward fewer fold passes.
     Auto,
+    /// A fully explicit mapping point (channel tile, replication cap,
+    /// loop order) — the form the auto-tuner searches over.
+    Explicit(ConvMapping),
 }
 
 /// A planned CONV mapping.
@@ -79,6 +113,8 @@ pub struct ConvPlan {
     pub subfold: usize,
     /// Iterations over the whole layer.
     pub iterations: u64,
+    /// How work units tile over the simultaneous VNs.
+    pub loop_order: LoopOrder,
     /// The ART configuration of one iteration.
     pub art: ArtConfig,
 }
@@ -88,6 +124,39 @@ impl ConvPlan {
     #[must_use]
     pub fn fold_factor(&self) -> usize {
         self.segments * self.subfold
+    }
+
+    /// Distinct output rows simultaneously resident across the mapped
+    /// VNs: [`LoopOrder::FilterMajor`] packs distinct filters first
+    /// (`ceil(num_vns / K)` rows), [`LoopOrder::RowMajor`] gives every
+    /// lane its own row (up to the `P` rows that exist).
+    #[must_use]
+    pub fn row_groups(&self, layer: &ConvLayer) -> u64 {
+        match self.loop_order {
+            LoopOrder::FilterMajor => ceil_div(self.num_vns as u64, layer.out_channels as u64),
+            LoopOrder::RowMajor => (self.num_vns as u64).min(layer.out_h() as u64),
+        }
+    }
+
+    /// Input rows a steady-state window slide touches, clamped to the
+    /// padded input height (the fabric can never need more rows than
+    /// the image has).
+    #[must_use]
+    pub fn rows_touched(&self, layer: &ConvLayer) -> u64 {
+        let stride = layer.stride as u64;
+        let rows_piece = ceil_div(layer.kernel_h as u64, self.subfold as u64);
+        (self.row_groups(layer) * stride + rows_piece.saturating_sub(stride.min(rows_piece)))
+            .min(layer.in_h as u64 + 2 * layer.pad as u64)
+    }
+
+    /// Fresh (unique) input words per steady-state output step, shared
+    /// across all lanes by multicast. Both the closed-form cost model
+    /// and the clocked trace in [`crate::cycle_sim`] derive their input
+    /// traffic from this one definition, so they cannot drift apart.
+    #[must_use]
+    pub fn step_inputs(&self, layer: &ConvLayer) -> u64 {
+        let cols_new = (layer.stride as u64).min(layer.kernel_w as u64);
+        self.rows_touched(layer) * cols_new * self.channel_tile as u64
     }
 }
 
@@ -133,7 +202,10 @@ impl ConvMapper {
     pub fn channel_tile(&self, layer: &ConvLayer, policy: VnPolicy) -> Result<usize> {
         match policy {
             VnPolicy::FullFilter => Ok(layer.in_channels),
-            VnPolicy::ChannelsPerVn(ct) => {
+            VnPolicy::ChannelsPerVn(ct)
+            | VnPolicy::Explicit(ConvMapping {
+                channel_tile: ct, ..
+            }) => {
                 if ct == 0 || ct > layer.in_channels {
                     return Err(SimError::unmappable(format!(
                         "channel tile {ct} invalid for {} input channels",
@@ -209,11 +281,22 @@ impl ConvMapper {
         let spans = self.cfg.healthy_spans();
         let (cap, budget) = span_capacity(&spans)?;
         let ct = self.channel_tile(layer, policy)?;
+        let (max_vns, loop_order) = match policy {
+            VnPolicy::Explicit(m) => {
+                if m.max_vns == 0 {
+                    return Err(SimError::unmappable(
+                        "explicit mapping needs at least one VN (max_vns >= 1)",
+                    ));
+                }
+                (m.max_vns, m.loop_order)
+            }
+            _ => (usize::MAX, LoopOrder::FilterMajor),
+        };
         let rs = layer.kernel_h * layer.kernel_w;
         let vn_weights = rs * ct;
         let subfold = ceil_div(vn_weights as u64, cap as u64) as usize;
         let vn_size = ceil_div(vn_weights as u64, subfold as u64) as usize;
-        let want = (budget / vn_size).max(1);
+        let want = (budget / vn_size).min(max_vns).max(1);
         let segments = ceil_div(layer.in_channels as u64, ct as u64) as usize;
         let sizes = vec![vn_size; want];
         // Fragmentation may shrink the VN count below the healthy
@@ -239,7 +322,25 @@ impl ConvMapper {
             segments,
             subfold,
             iterations,
+            loop_order,
             art,
+        })
+    }
+
+    /// Resolves the legacy [`VnPolicy::Auto`] heuristic to its explicit
+    /// [`ConvMapping`] point: the utilization-scored channel tile,
+    /// unlimited replication, filter-major tiling. This is the "named
+    /// point" the mapping-space search compares every candidate
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy-resolution failures.
+    pub fn heuristic_mapping(&self, layer: &ConvLayer) -> Result<ConvMapping> {
+        Ok(ConvMapping {
+            channel_tile: self.channel_tile(layer, VnPolicy::Auto)?,
+            max_vns: self.cfg.num_mult_switches(),
+            loop_order: LoopOrder::FilterMajor,
         })
     }
 
@@ -320,24 +421,15 @@ impl ConvMapper {
         let dist = self.cfg.distributor();
         let n = self.cfg.num_mult_switches();
         let q = layer.out_w() as u64;
-        let (r, s) = (layer.kernel_h as u64, layer.kernel_w as u64);
-        let stride = layer.stride as u64;
+        let s = layer.kernel_w as u64;
         let ct = plan.channel_tile as u64;
 
-        // Lanes take distinct filters when possible (maximal input
-        // multicast); extra lanes take further output rows. A folded VN
-        // holds only `ceil(R / subfold)` filter rows per pass, so its
-        // per-step input slice shrinks accordingly.
-        let rows_piece = ceil_div(r, plan.subfold as u64);
-        let row_groups = ceil_div(plan.num_vns as u64, layer.out_channels as u64);
-        let rows_touched = (row_groups * stride
-            + rows_piece.saturating_sub(stride.min(rows_piece)))
-        .min(layer.in_h as u64 + 2 * layer.pad as u64);
-        let cols_new = stride.min(s);
-
-        // Per-step unique input values (new window columns).
-        let step_inputs = rows_touched * cols_new * ct;
-        let fill_inputs = rows_touched * s * ct;
+        // Per-step unique input values (new window columns), shared
+        // with the clocked trace via the plan (a folded VN holds only
+        // `ceil(R / subfold)` filter rows per pass, and the loop order
+        // sets how many distinct rows are live at once).
+        let step_inputs = plan.step_inputs(layer);
+        let fill_inputs = plan.rows_touched(layer) * s * ct;
 
         let slowdown = plan.art.throughput_slowdown();
         // Steady-state step rate, fractional: distribution amortizes

@@ -10,6 +10,8 @@ use maeri_dnn::FcLayer;
 use maeri_sim::util::ceil_div;
 use maeri_sim::{Cycle, Result};
 
+use maeri_sim::SimError;
+
 use super::span_capacity;
 use crate::art::{pack_vns_into_spans, ArtConfig};
 use crate::engine::RunStats;
@@ -40,18 +42,60 @@ impl FcMapper {
         FcMapper { cfg }
     }
 
-    /// Costs an FC layer run.
+    /// Costs an FC layer run with the heuristic VN size (the largest
+    /// healthy span, i.e. minimal folding).
     ///
     /// # Errors
     ///
     /// Propagates ART construction failures.
     pub fn run(&self, layer: &FcLayer) -> Result<RunStats> {
+        let (cap, _) = span_capacity(&self.cfg.healthy_spans())?;
+        let fold = ceil_div(layer.inputs as u64, cap as u64);
+        self.run_folded(layer, fold)
+    }
+
+    /// The VN size [`FcMapper::run`] resolves to — the heuristic's
+    /// named point in the mapping space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates span-capacity failures.
+    pub fn heuristic_vn_size(&self, layer: &FcLayer) -> Result<usize> {
+        let (cap, _) = span_capacity(&self.cfg.healthy_spans())?;
+        let d = layer.inputs as u64;
+        let fold = ceil_div(d, cap as u64);
+        Ok(ceil_div(d, fold) as usize)
+    }
+
+    /// Costs an FC layer run with an explicit VN-size target: each
+    /// neuron's dot product folds `ceil(inputs / vn_size)` ways, so the
+    /// effective (balanced) VN may be slightly smaller than requested.
+    /// This is the knob the mapping-space search sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Unmappable`] when `vn_size` is zero, exceeds
+    /// the input length, or exceeds the largest healthy span.
+    pub fn run_with_vn_size(&self, layer: &FcLayer, vn_size: usize) -> Result<RunStats> {
+        let (cap, _) = span_capacity(&self.cfg.healthy_spans())?;
+        let d = layer.inputs as u64;
+        if vn_size == 0 || vn_size as u64 > d || vn_size > cap {
+            return Err(SimError::unmappable(format!(
+                "FC VN size {vn_size} invalid: need 1..={} (inputs {d}, largest healthy span {cap})",
+                (d as usize).min(cap)
+            )));
+        }
+        self.run_folded(layer, ceil_div(d, vn_size as u64))
+    }
+
+    /// The shared cost core: folds every neuron `fold` ways and packs
+    /// balanced VNs of `ceil(inputs / fold)` switches.
+    fn run_folded(&self, layer: &FcLayer, fold: u64) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
         let dist = self.cfg.distributor();
         let spans = self.cfg.healthy_spans();
-        let (cap, budget) = span_capacity(&spans)?;
+        let (_, budget) = span_capacity(&spans)?;
         let d = layer.inputs as u64;
-        let fold = ceil_div(d, cap as u64);
         let vn_size = ceil_div(d, fold) as usize;
         let want = (budget / vn_size).max(1);
         let (ranges, _) = pack_vns_into_spans(&spans, &vec![vn_size; want]);

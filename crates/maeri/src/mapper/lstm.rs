@@ -131,12 +131,65 @@ impl LstmMapper {
         layer: &LstmLayer,
         sink: &mut S,
     ) -> Result<RunStats> {
+        let (cap, _) = span_capacity(&self.cfg.healthy_spans())?;
+        let d = (layer.input_dim + layer.hidden_dim) as u64;
+        self.gate_phase_folded_probed(layer, ceil_div(d, cap as u64), sink)
+    }
+
+    /// The gate-phase VN size [`LstmMapper::run`] resolves to — the
+    /// heuristic's named point in the mapping space.
+    ///
+    /// # Errors
+    ///
+    /// Propagates span-capacity failures.
+    pub fn heuristic_gate_vn_size(&self, layer: &LstmLayer) -> Result<usize> {
+        let (cap, _) = span_capacity(&self.cfg.healthy_spans())?;
+        let d = (layer.input_dim + layer.hidden_dim) as u64;
+        let fold = ceil_div(d, cap as u64);
+        Ok(ceil_div(d, fold) as usize)
+    }
+
+    /// Costs one LSTM time step with an explicit gate-phase VN-size
+    /// target (the state phase keeps its fixed two-wide VNs). Each
+    /// gate dot product folds `ceil((input_dim + hidden_dim) /
+    /// vn_size)` ways. This is the knob the mapping-space search
+    /// sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`](maeri_sim::SimError) when `vn_size` is
+    /// zero, exceeds the concatenated vector length, or exceeds the
+    /// largest healthy span; propagates ART construction failures.
+    pub fn run_with_gate_vn_size(&self, layer: &LstmLayer, vn_size: usize) -> Result<RunStats> {
+        let (cap, _) = span_capacity(&self.cfg.healthy_spans())?;
+        let d = (layer.input_dim + layer.hidden_dim) as u64;
+        if vn_size == 0 || vn_size as u64 > d || vn_size > cap {
+            return Err(maeri_sim::SimError::unmappable(format!(
+                "LSTM gate VN size {vn_size} invalid: need 1..={} (vector {d}, largest healthy span {cap})",
+                (d as usize).min(cap)
+            )));
+        }
+        let mut run =
+            self.gate_phase_folded_probed(layer, ceil_div(d, vn_size as u64), &mut NullSink)?;
+        let state = self.run_state_phase(layer)?;
+        run.absorb(&state);
+        run.label = layer.name.clone();
+        Ok(run)
+    }
+
+    /// The shared gate-phase cost core: folds every gate dot product
+    /// `fold` ways and packs balanced VNs of `ceil(d / fold)` switches.
+    fn gate_phase_folded_probed<S: TraceSink>(
+        &self,
+        layer: &LstmLayer,
+        fold: u64,
+        sink: &mut S,
+    ) -> Result<RunStats> {
         let n = self.cfg.num_mult_switches();
         let dist = self.cfg.distributor();
         let spans = self.cfg.healthy_spans();
-        let (cap, budget) = span_capacity(&spans)?;
+        let (_, budget) = span_capacity(&spans)?;
         let d = (layer.input_dim + layer.hidden_dim) as u64;
-        let fold = ceil_div(d, cap as u64);
         let vn_size = ceil_div(d, fold) as usize;
         let want = (budget / vn_size).max(1);
         let (ranges, _) = pack_vns_into_spans(&spans, &vec![vn_size; want]);

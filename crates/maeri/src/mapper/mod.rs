@@ -12,6 +12,7 @@
 //!   ([`crate::art::ArtConfig::throughput_slowdown`]),
 //! * folding (Section 4.8) via adder-switch temporal registers.
 
+pub mod candidate;
 pub mod conv;
 pub mod cross_layer;
 pub mod fc;
@@ -19,7 +20,8 @@ pub mod lstm;
 pub mod pool;
 pub mod sparse;
 
-pub use conv::{ConvMapper, ConvPlan, FoldMode, VnPolicy};
+pub use candidate::{CandidateKind, MappingCandidate};
+pub use conv::{ConvMapper, ConvMapping, ConvPlan, FoldMode, LoopOrder, VnPolicy};
 pub use cross_layer::CrossLayerMapper;
 pub use fc::FcMapper;
 pub use lstm::LstmMapper;

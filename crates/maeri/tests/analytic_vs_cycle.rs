@@ -1,0 +1,122 @@
+//! Analytic cost model vs the clocked cycle simulator, across a grid
+//! of explicit VN sizes from a single multiplier per VN up to the full
+//! array.
+//!
+//! The mapping-space search scores thousands of candidates with the
+//! analytic model and only trace-validates a small frontier, so the
+//! model's estimate must stay within a stated tolerance of the clocked
+//! trace everywhere in the space — not just at the heuristic's point.
+//!
+//! Stated tolerance: analytic/trace cycle ratio within **±25 %**
+//! (`RATIO_TOLERANCE`). The analytic model omits sub-steady-state
+//! effects (pipeline fill of the last partial wave, collection
+//! backpressure transients), so small residual divergence is expected;
+//! anything beyond the band is a model bug.
+
+use maeri::analytic;
+use maeri::cycle_sim::simulate_conv_layer;
+use maeri::{ConvMapper, ConvMapping, LoopOrder, MaeriConfig, VnPolicy};
+use maeri_dnn::ConvLayer;
+
+const RATIO_TOLERANCE: f64 = 0.25;
+
+fn assert_within_tolerance(label: &str, analytic_cycles: u64, trace_cycles: u64) {
+    assert!(trace_cycles > 0, "{label}: empty trace");
+    let ratio = analytic_cycles as f64 / trace_cycles as f64;
+    assert!(
+        (ratio - 1.0).abs() <= RATIO_TOLERANCE,
+        "{label}: analytic {analytic_cycles} vs trace {trace_cycles} \
+         (ratio {ratio:.3} outside the stated +/-{RATIO_TOLERANCE} band)"
+    );
+}
+
+fn check_grid(layer: &ConvLayer, tiles: &[usize]) {
+    let cfg = MaeriConfig::paper_64();
+    let mapper = ConvMapper::new(cfg);
+    for &channel_tile in tiles {
+        for loop_order in [LoopOrder::FilterMajor, LoopOrder::RowMajor] {
+            let policy = VnPolicy::Explicit(ConvMapping {
+                channel_tile,
+                max_vns: cfg.num_mult_switches(),
+                loop_order,
+            });
+            let plan = mapper.plan(layer, policy).expect("tile is mappable");
+            let analytic = analytic::conv_mapping(&cfg, layer, policy).expect("analytic cost");
+            let trace = simulate_conv_layer(&cfg, layer, policy).expect("clocked trace");
+            assert_within_tolerance(
+                &format!(
+                    "{} ct={channel_tile} vn={} order={loop_order:?}",
+                    layer.name, plan.vn_size
+                ),
+                analytic.cycles,
+                trace.cycles.as_u64(),
+            );
+        }
+    }
+}
+
+#[test]
+fn pointwise_grid_covers_vn_sizes_one_to_full_array() {
+    // 1x1 kernel: the VN size equals the channel tile, so this grid
+    // pins VN sizes 1, 2, 4, 8, 16, 32, and 64 — a single multiplier
+    // per VN up to one VN spanning the whole array.
+    let layer = ConvLayer::new("pointwise", 64, 8, 8, 4, 1, 1, 1, 0);
+    let tiles = [1, 2, 4, 8, 16, 32, 64];
+    let mapper = ConvMapper::new(MaeriConfig::paper_64());
+    // The grid really does include the endpoints.
+    let vn_size_of = |ct: usize| {
+        mapper
+            .plan(
+                &layer,
+                VnPolicy::Explicit(ConvMapping {
+                    channel_tile: ct,
+                    max_vns: 64,
+                    loop_order: LoopOrder::FilterMajor,
+                }),
+            )
+            .unwrap()
+            .vn_size
+    };
+    assert_eq!(vn_size_of(1), 1, "grid must include VN size 1");
+    assert_eq!(vn_size_of(64), 64, "grid must include the full array");
+    check_grid(&layer, &tiles);
+}
+
+#[test]
+fn three_by_three_grid_tracks_the_trace() {
+    // Realistic 3x3 kernels: VN sizes 9, 18, 27, 36 plus non-dividing
+    // tiles (5 -> 45, 7 -> 63 multipliers, leaving trailing switches
+    // idle).
+    let layer = ConvLayer::new("conv3x3", 8, 13, 13, 16, 3, 3, 1, 1);
+    check_grid(&layer, &[1, 2, 3, 4, 5, 7]);
+}
+
+#[test]
+fn strided_padded_grid_tracks_the_trace() {
+    // Stride and padding exercise the padded-height clamp that the
+    // trace and the cost model must share.
+    let layer = ConvLayer::new("strided", 6, 27, 27, 8, 5, 5, 2, 2);
+    check_grid(&layer, &[1, 2, 3, 6]);
+}
+
+#[test]
+fn replication_caps_track_the_trace() {
+    // Sweep the replication cap at a fixed tile: fewer, fatter waves
+    // vs many narrow ones must both stay inside the tolerance band.
+    let cfg = MaeriConfig::paper_64();
+    let layer = ConvLayer::new("caps", 16, 13, 13, 8, 3, 3, 1, 1);
+    for exp in 0..=cfg.art_depth() {
+        let policy = VnPolicy::Explicit(ConvMapping {
+            channel_tile: 2,
+            max_vns: 1 << exp,
+            loop_order: LoopOrder::FilterMajor,
+        });
+        let analytic = analytic::conv_mapping(&cfg, &layer, policy).expect("analytic cost");
+        let trace = simulate_conv_layer(&cfg, &layer, policy).expect("clocked trace");
+        assert_within_tolerance(
+            &format!("caps max_vns={}", 1 << exp),
+            analytic.cycles,
+            trace.cycles.as_u64(),
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Mapper edge cases around non-dividing VN sizes: when the VN size
+//! does not divide the array (or the layer dimension), the trailing
+//! multiplier switches must be left idle — never packed into a
+//! mis-sized VN, never a panic, never a mis-reduced total.
+
+use maeri::cycle_sim::simulate_conv_layer;
+use maeri::{
+    ConvMapper, ConvMapping, FcMapper, LoopOrder, LstmMapper, MaeriConfig, SparseConvMapper,
+    VnPolicy,
+};
+use maeri_dnn::{ConvLayer, FcLayer, LstmLayer, WeightMask};
+use maeri_sim::SimRng;
+
+fn cfg() -> MaeriConfig {
+    MaeriConfig::paper_64()
+}
+
+// ------------------------------------------------------------------ CONV
+
+#[test]
+fn conv_non_dividing_vn_size_leaves_trailing_switches_idle() {
+    // ct=5 on a 1x1 kernel -> VN size 5; 64/5 = 12 VNs on 60 switches,
+    // 4 trailing switches idle.
+    let layer = ConvLayer::new("nd", 10, 8, 8, 4, 1, 1, 1, 0);
+    let policy = VnPolicy::Explicit(ConvMapping {
+        channel_tile: 5,
+        max_vns: 64,
+        loop_order: LoopOrder::FilterMajor,
+    });
+    let plan = ConvMapper::new(cfg()).plan(&layer, policy).unwrap();
+    assert_eq!(plan.vn_size, 5);
+    assert_eq!(plan.num_vns, 12);
+    assert!(
+        plan.vn_size * plan.num_vns <= 64,
+        "VNs must never spill past the array"
+    );
+    // The clocked trace schedules the same 12 lanes without panicking.
+    let trace = simulate_conv_layer(&cfg(), &layer, policy).unwrap();
+    assert!(trace.cycles.as_u64() > 0);
+}
+
+#[test]
+fn conv_vn_larger_than_half_array_maps_exactly_one_vn() {
+    // VN size 63 (ct=7, 3x3 kernel): only one VN fits; the remaining
+    // switch idles instead of hosting a truncated VN.
+    let layer = ConvLayer::new("big_vn", 7, 9, 9, 4, 3, 3, 1, 1);
+    let policy = VnPolicy::Explicit(ConvMapping {
+        channel_tile: 7,
+        max_vns: 64,
+        loop_order: LoopOrder::FilterMajor,
+    });
+    let plan = ConvMapper::new(cfg()).plan(&layer, policy).unwrap();
+    assert_eq!(plan.vn_size, 63);
+    assert_eq!(plan.num_vns, 1);
+    let run = ConvMapper::new(cfg()).run(&layer, policy).unwrap();
+    assert_eq!(run.macs, layer.macs(), "every MAC is still performed");
+}
+
+#[test]
+fn conv_every_channel_tile_is_mappable_or_a_clean_error() {
+    // No channel tile may panic or mis-reduce, dividing or not.
+    let layer = ConvLayer::new("sweep", 24, 13, 13, 8, 3, 3, 1, 1);
+    for ct in 1..=layer.in_channels {
+        let policy = VnPolicy::Explicit(ConvMapping {
+            channel_tile: ct,
+            max_vns: 64,
+            loop_order: LoopOrder::FilterMajor,
+        });
+        match ConvMapper::new(cfg()).run(&layer, policy) {
+            Ok(run) => assert_eq!(run.macs, layer.macs(), "ct={ct} must not drop MACs"),
+            Err(err) => panic!("ct={ct} must map on the 64-switch fabric: {err}"),
+        }
+    }
+}
+
+// -------------------------------------------------------------------- FC
+
+#[test]
+fn fc_non_dividing_vn_size_keeps_the_workload_exact() {
+    // d=100, vn=7: 64/7 = 9 VNs on 63 switches (one idle), fold =
+    // ceil(100/7) = 15 passes.
+    let layer = FcLayer::new("fc_nd", 100, 32);
+    let run = FcMapper::new(cfg()).run_with_vn_size(&layer, 7).unwrap();
+    assert_eq!(run.extra.get("fc_fold"), 15);
+    assert_eq!(run.macs, layer.macs());
+    assert!(run.utilization() <= 1.0);
+}
+
+#[test]
+fn fc_vn_size_sweep_never_panics() {
+    let layer = FcLayer::new("fc_sweep", 100, 16);
+    for vn in 1..=64 {
+        let run = FcMapper::new(cfg())
+            .run_with_vn_size(&layer, vn)
+            .unwrap_or_else(|e| panic!("vn={vn} must map: {e}"));
+        assert_eq!(run.macs, layer.macs(), "vn={vn} must not drop MACs");
+    }
+}
+
+#[test]
+fn fc_rejects_degenerate_vn_sizes() {
+    let layer = FcLayer::new("fc_bad", 100, 16);
+    let mapper = FcMapper::new(cfg());
+    assert!(mapper.run_with_vn_size(&layer, 0).is_err());
+    assert!(
+        mapper.run_with_vn_size(&layer, 101).is_err(),
+        "a VN larger than the dot product is rejected"
+    );
+    assert!(
+        mapper.run_with_vn_size(&layer, 65).is_err(),
+        "a VN larger than the array is rejected"
+    );
+}
+
+#[test]
+fn fc_default_run_is_the_heuristic_named_point() {
+    // run() must be exactly the heuristic's point in the search space,
+    // so the auto-tuner's "never worse than the heuristic" guarantee
+    // really covers the legacy entry point.
+    let layer = FcLayer::new("fc_id", 9216, 4096);
+    let mapper = FcMapper::new(cfg());
+    let vn = mapper.heuristic_vn_size(&layer).unwrap();
+    assert_eq!(
+        mapper.run(&layer).unwrap(),
+        mapper.run_with_vn_size(&layer, vn).unwrap()
+    );
+}
+
+// ------------------------------------------------------------------ LSTM
+
+#[test]
+fn lstm_non_dividing_gate_vn_size_keeps_the_workload_exact() {
+    let layer = LstmLayer::new("lstm_nd", 100, 60); // d = 160
+    let run = LstmMapper::new(cfg())
+        .run_with_gate_vn_size(&layer, 7)
+        .unwrap();
+    assert_eq!(run.extra.get("gate_fold"), 23); // ceil(160/7)
+    assert_eq!(run.macs, layer.gate_macs() + layer.state_macs());
+}
+
+#[test]
+fn lstm_gate_vn_size_sweep_never_panics() {
+    let layer = LstmLayer::new("lstm_sweep", 48, 48);
+    for vn in 1..=64 {
+        let run = LstmMapper::new(cfg())
+            .run_with_gate_vn_size(&layer, vn)
+            .unwrap_or_else(|e| panic!("gate vn={vn} must map: {e}"));
+        assert_eq!(
+            run.macs,
+            layer.gate_macs() + layer.state_macs(),
+            "gate vn={vn} must not drop MACs"
+        );
+    }
+}
+
+#[test]
+fn lstm_rejects_degenerate_gate_vn_sizes() {
+    let layer = LstmLayer::new("lstm_bad", 100, 60);
+    let mapper = LstmMapper::new(cfg());
+    assert!(mapper.run_with_gate_vn_size(&layer, 0).is_err());
+    assert!(mapper.run_with_gate_vn_size(&layer, 161).is_err());
+    assert!(mapper.run_with_gate_vn_size(&layer, 65).is_err());
+}
+
+#[test]
+fn lstm_gate_phase_heuristic_is_a_named_point() {
+    // The explicit-VN gate phase at the heuristic's size must cost
+    // exactly what run()'s internal gate phase costs, so the
+    // auto-tuner's comparison covers the legacy path.
+    let layer = LstmLayer::new("lstm_id", 1280, 1280);
+    let mapper = LstmMapper::new(cfg());
+    let vn = mapper.heuristic_gate_vn_size(&layer).unwrap();
+    let explicit = mapper.run_with_gate_vn_size(&layer, vn).unwrap();
+    let legacy = mapper.run_gate_phase(&layer).unwrap();
+    assert_eq!(
+        explicit.extra.get("gate_fold"),
+        legacy.extra.get("gate_fold")
+    );
+    assert_eq!(
+        explicit.cycles.as_u64(),
+        legacy.cycles.as_u64() + mapper.run_state_phase(&layer).unwrap().cycles.as_u64()
+    );
+}
+
+// ---------------------------------------------------------------- SPARSE
+
+#[test]
+fn sparse_non_dividing_channel_tile_never_panics() {
+    // 10 channels with tiles 3 and 7: the last slice of each filter is
+    // short, and pruned-empty slices shrink VNs further — both must
+    // schedule cleanly.
+    let layer = ConvLayer::new("sparse_nd", 10, 8, 8, 6, 3, 3, 1, 1);
+    let mask = WeightMask::generate(&layer, 0.5, &mut SimRng::seed(9));
+    for ct in [3, 7] {
+        let run = SparseConvMapper::new(cfg())
+            .run(&layer, &mask, ct)
+            .unwrap_or_else(|e| panic!("sparse ct={ct} must map: {e}"));
+        assert!(run.cycles.as_u64() > 0);
+    }
+}

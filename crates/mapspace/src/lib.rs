@@ -1,0 +1,54 @@
+//! Mapping-space exploration for MAERI: an auto-tuner over VN
+//! partitions, replication, loop order, and chubby-bandwidth configs.
+//!
+//! MAERI's reconfigurable distribution tree and ART make the *mapping*
+//! a free variable — a layer can run under many different virtual-
+//! neuron partitions, each with a different bandwidth/iteration
+//! trade-off. This crate turns that freedom into a search problem:
+//!
+//! 1. **Enumerate** every candidate [`MappingCandidate`](maeri::MappingCandidate)
+//!    a [`SearchSpec`] allows (channel tile, replication cap, loop
+//!    order, VN-size fold target, bandwidth pair — per layer kind),
+//! 2. **Prune** structurally infeasible or shape-duplicate candidates,
+//! 3. **Score** the survivors with the closed-form analytic model
+//!    (`maeri::analytic::conv_mapping` and the mappers' cost cores),
+//! 4. keep a **top-K frontier** (always joined by the legacy heuristic
+//!    mapper's named point, so tuning can never lose to it), and
+//! 5. **Validate** the frontier with the exact clocked trace
+//!    (`maeri::cycle_sim`) where one exists (dense CONV), picking the
+//!    winner by validated cycles.
+//!
+//! The whole pipeline is deterministic: exhaustive enumeration is
+//! ordered, the random strategy draws from a seeded
+//! [`SimRng`](maeri_sim::SimRng), beam expansion is breadth-first with
+//! stable tie-breaks, and [`SearchResult::canonical_text`] is
+//! byte-stable across runs and worker counts. `maeri-runtime` wraps
+//! [`search`] in its `SimJob::MapSearch` variant so whole-network
+//! tuning fans out across the worker pool with content-hash caching
+//! and retry hardening for free.
+//!
+//! ```
+//! use maeri::MaeriConfig;
+//! use maeri_dnn::ConvLayer;
+//! use maeri_mapspace::{search, SearchLayer, SearchSpec};
+//!
+//! let layer = ConvLayer::new("c", 16, 14, 14, 8, 3, 3, 1, 1);
+//! let spec = SearchSpec::new(
+//!     SearchLayer::Conv(layer),
+//!     MaeriConfig::paper_64(),
+//! );
+//! let result = search(&spec)?;
+//! assert!(result.best_cycles() <= result.heuristic_cycles());
+//! # Ok::<(), maeri_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod search;
+mod space;
+mod strategy;
+
+pub use search::{search, CandidateOutcome, SearchCounters, SearchResult};
+pub use space::{enumerate, space_size, SearchLayer, SearchSpec};
+pub use strategy::Strategy;

@@ -1,0 +1,220 @@
+//! Mapping-space search guarantees: provable exhaustive coverage,
+//! tuned-never-loses, and byte-stable determinism.
+
+use maeri::{CandidateKind, MaeriConfig};
+use maeri_dnn::{ConvLayer, FcLayer, LstmLayer};
+use maeri_mapspace::{enumerate, search, space_size, SearchLayer, SearchSpec, Strategy};
+
+fn small_conv() -> ConvLayer {
+    ConvLayer::new("small_conv", 6, 10, 10, 4, 3, 3, 1, 1)
+}
+
+fn conv_spec(cfg: MaeriConfig) -> SearchSpec {
+    SearchSpec::new(SearchLayer::Conv(small_conv()), cfg)
+}
+
+#[test]
+fn exhaustive_covers_the_space_at_small_configs() {
+    // The acceptance bar: at <= 16 multipliers, the candidate count
+    // equals the closed-form space size, so exhaustive search provably
+    // covers the space.
+    for n in [4, 8, 16] {
+        let cfg = MaeriConfig::builder(n)
+            .distribution_bandwidth(2)
+            .collection_bandwidth(2)
+            .build()
+            .unwrap();
+        for layer in [
+            SearchLayer::Conv(small_conv()),
+            SearchLayer::SparseConv {
+                layer: small_conv(),
+                zero_fraction: 0.5,
+                mask_seed: 7,
+            },
+            SearchLayer::Fc(FcLayer::new("fc", 40, 12)),
+            SearchLayer::Lstm(LstmLayer::new("lstm", 24, 24)),
+        ] {
+            let spec = SearchSpec::new(layer, cfg);
+            let expected = space_size(&spec);
+            assert_eq!(
+                enumerate(&spec).len() as u64,
+                expected,
+                "enumeration must match the closed form at n={n}"
+            );
+            let result = search(&spec).unwrap();
+            assert_eq!(
+                result.counters.enumerated, expected,
+                "exhaustive search must consider the whole space at n={n}"
+            );
+            assert_eq!(
+                result.counters.pruned + result.counters.scored,
+                result.counters.enumerated,
+                "every considered candidate is either pruned or scored"
+            );
+        }
+    }
+}
+
+#[test]
+fn conv_space_closed_form_is_c_times_caps_times_orders() {
+    let cfg = MaeriConfig::paper_64(); // 64 MS -> log2(64)+1 = 7 caps
+    let spec = conv_spec(cfg);
+    assert_eq!(space_size(&spec), 6 * 7 * 2);
+    let with_bw = spec.with_bandwidths(vec![(4, 4), (8, 8), (16, 16)]);
+    assert_eq!(space_size(&with_bw), 6 * 7 * 2 * 3);
+    assert_eq!(enumerate(&with_bw).len() as u64, 6 * 7 * 2 * 3);
+}
+
+#[test]
+fn tuned_never_loses_to_the_heuristic() {
+    let cfg = MaeriConfig::paper_64();
+    for layer in [
+        SearchLayer::Conv(ConvLayer::new("c", 16, 14, 14, 8, 3, 3, 1, 1)),
+        SearchLayer::SparseConv {
+            layer: ConvLayer::new("s", 16, 14, 14, 8, 3, 3, 1, 1),
+            zero_fraction: 0.6,
+            mask_seed: 3,
+        },
+        SearchLayer::Fc(FcLayer::new("fc", 512, 64)),
+        SearchLayer::Lstm(LstmLayer::new("lstm", 128, 128)),
+    ] {
+        let result = search(&SearchSpec::new(layer, cfg)).unwrap();
+        assert!(
+            result.best_cycles() <= result.heuristic_cycles(),
+            "{}: best {} vs heuristic {}",
+            result.layer,
+            result.best_cycles(),
+            result.heuristic_cycles()
+        );
+        assert!(result.speedup() >= 1.0);
+        // The heuristic's named point is always in the frontier.
+        assert!(result
+            .frontier
+            .iter()
+            .any(|o| o.candidate == result.heuristic.candidate));
+    }
+}
+
+#[test]
+fn conv_frontier_is_trace_validated_with_rank_check() {
+    let result = search(&conv_spec(MaeriConfig::paper_64())).unwrap();
+    assert!(result.counters.validated > 0);
+    assert!(result.counters.rank_agreement.is_some());
+    assert!(result.frontier.iter().all(|o| o.validated_cycles.is_some()));
+    assert!(result.best.validated_cycles.is_some());
+}
+
+#[test]
+fn closed_form_kinds_skip_trace_validation() {
+    let spec = SearchSpec::new(
+        SearchLayer::Fc(FcLayer::new("fc", 256, 32)),
+        MaeriConfig::paper_64(),
+    );
+    let result = search(&spec).unwrap();
+    assert_eq!(result.counters.validated, 0);
+    assert_eq!(result.counters.rank_agreement, None);
+    assert!(result.frontier.iter().all(|o| o.validated_cycles.is_none()));
+}
+
+#[test]
+fn search_is_deterministic() {
+    let spec = conv_spec(MaeriConfig::paper_64());
+    let a = search(&spec).unwrap();
+    let b = search(&spec).unwrap();
+    assert_eq!(a, b);
+    assert_eq!(a.canonical_text(), b.canonical_text());
+}
+
+#[test]
+fn random_strategy_reproduces_from_its_seed() {
+    let base = conv_spec(MaeriConfig::paper_64());
+    let seeded = |seed| {
+        base.clone()
+            .with_strategy(Strategy::Random { seed, samples: 20 })
+    };
+    let a = search(&seeded(42)).unwrap();
+    let b = search(&seeded(42)).unwrap();
+    assert_eq!(a, b, "same seed must reproduce byte-identically");
+    assert_eq!(a.counters.enumerated, 20);
+    // A different seed may pick different candidates, but tuning still
+    // never loses (the heuristic joins the frontier regardless).
+    let c = search(&seeded(43)).unwrap();
+    assert!(c.best_cycles() <= c.heuristic_cycles());
+}
+
+#[test]
+fn beam_matches_or_beats_the_heuristic_cheaply() {
+    let spec = conv_spec(MaeriConfig::paper_64()).with_strategy(Strategy::Beam {
+        width: 4,
+        rounds: 6,
+    });
+    let result = search(&spec).unwrap();
+    assert!(result.best_cycles() <= result.heuristic_cycles());
+    // Beam visits a strict subset of the space.
+    assert!(result.counters.enumerated < space_size(&spec));
+}
+
+#[test]
+fn beam_approaches_the_exhaustive_optimum() {
+    let exhaustive = search(&conv_spec(MaeriConfig::paper_64())).unwrap();
+    let beam = search(
+        &conv_spec(MaeriConfig::paper_64()).with_strategy(Strategy::Beam {
+            width: 8,
+            rounds: 12,
+        }),
+    )
+    .unwrap();
+    // Beam can only do as well as the full sweep, and never worse than
+    // the heuristic it starts from.
+    assert!(beam.best_cycles() >= exhaustive.best_cycles());
+    assert!(beam.best_cycles() <= beam.heuristic_cycles());
+}
+
+#[test]
+fn degenerate_specs_are_rejected() {
+    let cfg = MaeriConfig::paper_64();
+    assert!(search(&conv_spec(cfg).with_top_k(0)).is_err());
+    assert!(search(&conv_spec(cfg).with_strategy(Strategy::Random {
+        seed: 1,
+        samples: 0
+    }))
+    .is_err());
+    assert!(search(&conv_spec(cfg).with_strategy(Strategy::Beam {
+        width: 0,
+        rounds: 3
+    }))
+    .is_err());
+}
+
+#[test]
+fn bandwidth_exploration_keeps_the_heuristic_comparable() {
+    // Exploring bandwidth pairs widens the space; the heuristic stays
+    // at the base pair, so the comparison shows what extra (or less)
+    // bandwidth buys.
+    let spec = conv_spec(MaeriConfig::paper_64()).with_bandwidths(vec![(2, 2), (8, 8), (16, 16)]);
+    let result = search(&spec).unwrap();
+    assert!(result.best_cycles() <= result.heuristic_cycles());
+    assert_eq!(
+        result.heuristic.candidate.dist_bandwidth, 8,
+        "heuristic keeps the base config's bandwidth"
+    );
+}
+
+#[test]
+fn search_works_on_a_faulty_fabric() {
+    use maeri::FaultSpec;
+    let cfg = MaeriConfig::builder(64)
+        .faults(FaultSpec::new(11).dead_multipliers(60))
+        .build()
+        .unwrap();
+    let result = search(&conv_spec(cfg)).unwrap();
+    assert!(result.best_cycles() <= result.heuristic_cycles());
+    assert!(result.counters.scored > 0);
+}
+
+#[test]
+fn candidate_kinds_match_their_layers() {
+    let result = search(&conv_spec(MaeriConfig::paper_64())).unwrap();
+    assert!(matches!(result.best.candidate.kind, CandidateKind::Conv(_)));
+    assert_eq!(result.kind, "conv");
+}

@@ -5,11 +5,12 @@ use maeri::cycle_sim::{
     simulate_conv_iteration, simulate_conv_layer_telemetry, LaneSpec, TraceStats,
 };
 use maeri::{
-    ConvMapper, CrossLayerMapper, FcMapper, LstmMapper, MaeriConfig, PoolMapper, SparseConvMapper,
-    VnPolicy,
+    ConvMapper, CrossLayerMapper, FcMapper, LoopOrder, LstmMapper, MaeriConfig, PoolMapper,
+    SparseConvMapper, VnPolicy,
 };
 use maeri_baselines::{FixedClusterArray, RowStationary, SystolicArray};
 use maeri_dnn::{ConvLayer, FcLayer, LstmLayer, PoolLayer, WeightMask};
+use maeri_mapspace::{SearchLayer, SearchSpec, Strategy};
 use maeri_sim::SimRng;
 
 use crate::output::{JobResult, SimOutput, TelemetryRun};
@@ -177,6 +178,13 @@ pub enum SimJob {
         /// VN-sizing policy.
         policy: VnPolicy,
     },
+    /// Mapping-space search for one layer: enumerate candidates, score
+    /// them analytically, trace-validate the frontier (see
+    /// [`maeri_mapspace::search`]).
+    MapSearch {
+        /// The full search description.
+        spec: SearchSpec,
+    },
     /// Scheduler health-check probe. Completes immediately, panics
     /// with the given message, or stalls for a fixed wall-clock time —
     /// used to verify panic isolation and the timeout watchdog.
@@ -259,6 +267,12 @@ impl SimJob {
         SimJob::TelemetryConv { cfg, layer, policy }
     }
 
+    /// Mapping-space search for one layer (see [`SimJob::MapSearch`]).
+    #[must_use]
+    pub fn map_search(spec: SearchSpec) -> Self {
+        SimJob::MapSearch { spec }
+    }
+
     /// A probe that succeeds immediately.
     #[must_use]
     pub fn health_check() -> Self {
@@ -292,6 +306,12 @@ impl SimJob {
     pub fn fidelity(&self) -> Fidelity {
         match self {
             SimJob::ConvTrace { .. } | SimJob::TelemetryConv { .. } => Fidelity::CycleTrace,
+            // A dense-CONV search trace-validates its frontier; the
+            // other layer kinds are scored purely closed-form.
+            SimJob::MapSearch { spec } => match spec.layer {
+                SearchLayer::Conv(_) => Fidelity::CycleTrace,
+                _ => Fidelity::Analytic,
+            },
             _ => Fidelity::Analytic,
         }
     }
@@ -320,6 +340,9 @@ impl SimJob {
             SimJob::AnalyticMaeri { layer, .. } => format!("analytic/maeri/{}", layer.name),
             SimJob::ConvTrace { lanes, .. } => format!("trace/conv/{}lanes", lanes.len()),
             SimJob::TelemetryConv { layer, .. } => format!("telemetry/conv/{}", layer.name),
+            SimJob::MapSearch { spec } => {
+                format!("search/{}/{}", spec.layer.kind_label(), spec.layer.name())
+            }
             SimJob::Probe {
                 panic_with,
                 stall_ms,
@@ -434,6 +457,9 @@ impl SimJob {
                     trace,
                     fabric,
                 })))
+            }
+            SimJob::MapSearch { spec } => {
+                Ok(SimOutput::Search(Box::new(maeri_mapspace::search(spec)?)))
             }
             SimJob::Probe {
                 panic_with,
@@ -609,6 +635,57 @@ impl SimJob {
                 enc.conv(layer);
                 enc.policy(policy);
             }
+            SimJob::MapSearch { spec } => {
+                enc.tag(16);
+                enc.config(&spec.base);
+                match &spec.layer {
+                    SearchLayer::Conv(layer) => {
+                        enc.tag(0);
+                        enc.conv(layer);
+                    }
+                    SearchLayer::SparseConv {
+                        layer,
+                        zero_fraction,
+                        mask_seed,
+                    } => {
+                        enc.tag(1);
+                        enc.conv(layer);
+                        enc.f64(*zero_fraction);
+                        enc.u64(*mask_seed);
+                    }
+                    SearchLayer::Fc(layer) => {
+                        enc.tag(2);
+                        enc.str(&layer.name);
+                        enc.usize(layer.inputs);
+                        enc.usize(layer.outputs);
+                    }
+                    SearchLayer::Lstm(layer) => {
+                        enc.tag(3);
+                        enc.str(&layer.name);
+                        enc.usize(layer.input_dim);
+                        enc.usize(layer.hidden_dim);
+                    }
+                }
+                enc.usize(spec.bandwidths.len());
+                for (dist, collect) in &spec.bandwidths {
+                    enc.usize(*dist);
+                    enc.usize(*collect);
+                }
+                match spec.strategy {
+                    Strategy::Exhaustive => enc.tag(0),
+                    Strategy::Random { seed, samples } => {
+                        enc.tag(1);
+                        enc.u64(seed);
+                        enc.usize(samples);
+                    }
+                    Strategy::Beam { width, rounds } => {
+                        enc.tag(2);
+                        enc.usize(width);
+                        enc.usize(rounds);
+                    }
+                }
+                enc.usize(spec.top_k);
+            }
             SimJob::Probe {
                 panic_with,
                 stall_ms,
@@ -731,6 +808,15 @@ impl KeyEncoder {
                 self.usize(*channels);
             }
             VnPolicy::Auto => self.tag(2),
+            VnPolicy::Explicit(mapping) => {
+                self.tag(3);
+                self.usize(mapping.channel_tile);
+                self.usize(mapping.max_vns);
+                self.tag(match mapping.loop_order {
+                    LoopOrder::FilterMajor => 0,
+                    LoopOrder::RowMajor => 1,
+                });
+            }
             // `VnPolicy` is non-exhaustive upstream; any new variant
             // must be given a stable encoding here before use.
             other => unimplemented!("no key encoding for VN policy {other:?}"),
@@ -856,6 +942,72 @@ mod tests {
         assert_eq!(out.trace_stats(), Some(&run.trace));
         let again = job.execute().unwrap();
         assert_eq!(out.canonical_text(), again.canonical_text());
+    }
+
+    #[test]
+    fn map_search_keys_label_and_execute() {
+        let spec = SearchSpec::new(SearchLayer::Conv(layer()), MaeriConfig::paper_64());
+        let job = SimJob::map_search(spec.clone());
+        assert_eq!(job.label(), "search/conv/k");
+        assert_eq!(job.fidelity(), Fidelity::CycleTrace);
+        assert_eq!(job.key(), SimJob::map_search(spec.clone()).key());
+        // Every spec knob participates in the cache identity.
+        let other_strategy = SimJob::map_search(spec.clone().with_strategy(Strategy::Random {
+            seed: 1,
+            samples: 5,
+        }));
+        let other_top_k = SimJob::map_search(spec.clone().with_top_k(3));
+        let other_bw = SimJob::map_search(spec.clone().with_bandwidths(vec![(4, 4)]));
+        assert_ne!(job.key(), other_strategy.key());
+        assert_ne!(job.key(), other_top_k.key());
+        assert_ne!(job.key(), other_bw.key());
+        let result = job.execute().unwrap();
+        let search = result.search().expect("search output");
+        assert!(search.best_cycles() <= search.heuristic_cycles());
+        assert_eq!(
+            result.canonical_text(),
+            job.execute().unwrap().canonical_text()
+        );
+    }
+
+    #[test]
+    fn map_search_fidelity_tracks_layer_kind() {
+        let fc = SimJob::map_search(SearchSpec::new(
+            SearchLayer::Fc(maeri_dnn::FcLayer::new("fc", 64, 8)),
+            MaeriConfig::paper_64(),
+        ));
+        assert_eq!(fc.fidelity(), Fidelity::Analytic);
+        assert_eq!(fc.label(), "search/fc/fc");
+    }
+
+    #[test]
+    fn explicit_policy_keys_stably() {
+        use maeri::{ConvMapping, LoopOrder};
+        let mapping = ConvMapping {
+            channel_tile: 2,
+            max_vns: 8,
+            loop_order: LoopOrder::RowMajor,
+        };
+        let a = SimJob::dense_conv(
+            MaeriConfig::paper_64(),
+            layer(),
+            VnPolicy::Explicit(mapping),
+        );
+        let b = SimJob::dense_conv(
+            MaeriConfig::paper_64(),
+            layer(),
+            VnPolicy::Explicit(ConvMapping {
+                loop_order: LoopOrder::FilterMajor,
+                ..mapping
+            }),
+        );
+        assert_eq!(a.key(), a.key());
+        assert_ne!(a.key(), b.key());
+        assert_ne!(
+            a.key(),
+            SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto).key()
+        );
+        assert!(a.execute().is_ok());
     }
 
     #[test]

@@ -41,6 +41,19 @@ pub struct MetricsSnapshot {
     pub telemetry_runs: u64,
     /// Total trace events those telemetry runs recorded.
     pub telemetry_events: u64,
+    /// Freshly-executed mapping-space searches.
+    pub searches: u64,
+    /// Candidates those searches enumerated.
+    pub search_candidates: u64,
+    /// Enumerated candidates pruned as infeasible or duplicate shapes.
+    pub search_pruned: u64,
+    /// Frontier members validated with an exact cycle trace.
+    pub search_validated: u64,
+    /// Searches whose frontier was trace-validated (rank checkable).
+    pub search_rank_checks: u64,
+    /// Rank checks where analytic and exact ranking picked the same
+    /// winner.
+    pub search_rank_agreements: u64,
     /// Per-phase wall-time log, in submission order.
     pub phases: Vec<PhaseStats>,
 }
@@ -76,6 +89,17 @@ impl MetricsSnapshot {
             out.push_str(&format!(
                 "  telemetry: {} instrumented runs, {} trace events\n",
                 self.telemetry_runs, self.telemetry_events
+            ));
+        }
+        if self.searches > 0 {
+            out.push_str(&format!(
+                "  search: {} searches, {} candidates ({} pruned, {} validated), rank agreement {}/{}\n",
+                self.searches,
+                self.search_candidates,
+                self.search_pruned,
+                self.search_validated,
+                self.search_rank_agreements,
+                self.search_rank_checks
             ));
         }
         if !self.phases.is_empty() {
@@ -123,6 +147,18 @@ impl MetricsSnapshot {
             )
             .with("telemetry_runs", JsonValue::UInt(self.telemetry_runs))
             .with("telemetry_events", JsonValue::UInt(self.telemetry_events))
+            .with("searches", JsonValue::UInt(self.searches))
+            .with("search_candidates", JsonValue::UInt(self.search_candidates))
+            .with("search_pruned", JsonValue::UInt(self.search_pruned))
+            .with("search_validated", JsonValue::UInt(self.search_validated))
+            .with(
+                "search_rank_checks",
+                JsonValue::UInt(self.search_rank_checks),
+            )
+            .with(
+                "search_rank_agreements",
+                JsonValue::UInt(self.search_rank_agreements),
+            )
             .with(
                 "total_wall_us",
                 JsonValue::UInt(self.total_wall().as_micros() as u64),
@@ -142,6 +178,12 @@ pub struct RuntimeMetrics {
     timeouts: AtomicU64,
     telemetry_runs: AtomicU64,
     telemetry_events: AtomicU64,
+    searches: AtomicU64,
+    search_candidates: AtomicU64,
+    search_pruned: AtomicU64,
+    search_validated: AtomicU64,
+    search_rank_checks: AtomicU64,
+    search_rank_agreements: AtomicU64,
     in_flight: AtomicUsize,
     queue_high_water: AtomicUsize,
     phases: Mutex<Vec<PhaseStats>>,
@@ -185,6 +227,25 @@ impl RuntimeMetrics {
         self.telemetry_events.fetch_add(events, Ordering::Relaxed);
     }
 
+    /// Counts one freshly-executed mapping search and its per-search
+    /// counters (cache hits are deliberately not re-counted, like
+    /// telemetry).
+    pub(crate) fn record_search(&self, counters: &maeri_mapspace::SearchCounters) {
+        self.searches.fetch_add(1, Ordering::Relaxed);
+        self.search_candidates
+            .fetch_add(counters.enumerated, Ordering::Relaxed);
+        self.search_pruned
+            .fetch_add(counters.pruned, Ordering::Relaxed);
+        self.search_validated
+            .fetch_add(counters.validated, Ordering::Relaxed);
+        if let Some(agreed) = counters.rank_agreement {
+            self.search_rank_checks.fetch_add(1, Ordering::Relaxed);
+            if agreed {
+                self.search_rank_agreements.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Marks one job entering the queue and updates the high-water mark.
     pub(crate) fn job_enqueued(&self) {
         let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
@@ -218,6 +279,12 @@ impl RuntimeMetrics {
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             telemetry_runs: self.telemetry_runs.load(Ordering::Relaxed),
             telemetry_events: self.telemetry_events.load(Ordering::Relaxed),
+            searches: self.searches.load(Ordering::Relaxed),
+            search_candidates: self.search_candidates.load(Ordering::Relaxed),
+            search_pruned: self.search_pruned.load(Ordering::Relaxed),
+            search_validated: self.search_validated.load(Ordering::Relaxed),
+            search_rank_checks: self.search_rank_checks.load(Ordering::Relaxed),
+            search_rank_agreements: self.search_rank_agreements.load(Ordering::Relaxed),
             phases: self
                 .phases
                 .lock()

@@ -5,6 +5,7 @@ use std::fmt;
 use maeri::analytic::AnalyticResult;
 use maeri::cycle_sim::TraceStats;
 use maeri::RunStats;
+use maeri_mapspace::SearchResult;
 use maeri_sim::SimError;
 use maeri_telemetry::FabricTelemetry;
 
@@ -32,6 +33,9 @@ pub enum SimOutput {
     /// telemetry carries a histogram and per-kind event counts, much
     /// larger than the other outputs).
     Telemetry(Box<TelemetryRun>),
+    /// A mapping-space search result (boxed: carries a whole validated
+    /// frontier of candidates).
+    Search(Box<SearchResult>),
 }
 
 impl SimOutput {
@@ -99,12 +103,35 @@ impl SimOutput {
         }
     }
 
+    /// The search result, if this output came from a mapping search.
+    #[must_use]
+    pub fn search(&self) -> Option<&SearchResult> {
+        match self {
+            SimOutput::Search(result) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Unwraps a search result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is not a [`SimOutput::Search`].
+    #[must_use]
+    pub fn into_search(self) -> SearchResult {
+        match self {
+            SimOutput::Search(result) => *result,
+            other => panic!("expected search result, got {}", other.kind()),
+        }
+    }
+
     fn kind(&self) -> &'static str {
         match self {
             SimOutput::Run(_) => "run statistics",
             SimOutput::Analytic(_) => "analytic result",
             SimOutput::Trace(_) => "trace statistics",
             SimOutput::Telemetry(_) => "telemetry run",
+            SimOutput::Search(_) => "search result",
         }
     }
 
@@ -156,6 +183,12 @@ impl SimOutput {
                 // The fabric rendering is multi-line for human output;
                 // flatten it so the canonical form stays one line.
                 run.fabric.canonical_text().trim_end().replace('\n', "; "),
+            ),
+            SimOutput::Search(result) => format!(
+                // Like telemetry: flatten the multi-line rendering so
+                // the canonical form stays one line.
+                "search [{}]",
+                result.canonical_text().trim_end().replace('\n', "; "),
             ),
         }
     }

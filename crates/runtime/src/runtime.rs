@@ -137,8 +137,14 @@ impl Runtime {
     /// Accounts a freshly-executed result's fabric telemetry (cache
     /// hits are deliberately not re-counted).
     fn record_telemetry(&self, result: &JobResult) {
-        if let Ok(SimOutput::Telemetry(run)) = result {
-            self.metrics.record_telemetry(run.fabric.total_events());
+        match result {
+            Ok(SimOutput::Telemetry(run)) => {
+                self.metrics.record_telemetry(run.fabric.total_events());
+            }
+            Ok(SimOutput::Search(search)) => {
+                self.metrics.record_search(&search.counters);
+            }
+            _ => {}
         }
     }
 

@@ -15,6 +15,8 @@
 //! * [`baselines`] — systolic array, row stationary, fixed clusters
 //!   ([`maeri_baselines`]),
 //! * [`ppa`] — the calibrated 28 nm area/power model ([`maeri_ppa`]),
+//! * [`mapspace`] — mapping-space exploration: per-layer auto-tuning of
+//!   VN partitions, replication, and bandwidth ([`maeri_mapspace`]),
 //! * [`runtime`] — parallel batch execution: simulation jobs, the
 //!   worker-pool scheduler, result caching ([`maeri_runtime`]),
 //! * [`sim`] — cycles, statistics, RNG, tables ([`maeri_sim`]),
@@ -55,6 +57,9 @@ pub use maeri_baselines as baselines;
 
 /// 28 nm PPA model (re-export of `maeri-ppa`).
 pub use maeri_ppa as ppa;
+
+/// Mapping-space exploration (re-export of `maeri-mapspace`).
+pub use maeri_mapspace as mapspace;
 
 /// Batch-simulation runtime (re-export of `maeri-runtime`).
 pub use maeri_runtime as runtime;
