@@ -43,6 +43,9 @@ pub struct Bencher {
 
 impl Bencher {
     /// Calls `body` repeatedly and records the mean wall time.
+    // The name is fixed by criterion's API; it does not return an
+    // iterator and never will.
+    #[allow(clippy::iter_not_returning_iterator)]
     pub fn iter<Out, Body: FnMut() -> Out>(&mut self, mut body: Body) {
         // Warmup (also primes caches and the branch predictor).
         for _ in 0..3 {
@@ -83,6 +86,9 @@ pub struct BenchmarkGroup<'c> {
 
 impl BenchmarkGroup<'_> {
     /// Runs `body` as a benchmark over `input`.
+    // Criterion's API takes the id by value; keep the signature
+    // drop-in compatible.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, Body>(&mut self, id: BenchmarkId, input: &I, mut body: Body)
     where
         Body: FnMut(&mut Bencher, &I),

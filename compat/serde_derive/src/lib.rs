@@ -6,6 +6,8 @@
 //! proc-macro crate accepts the derive syntax — including `#[serde(..)]`
 //! helper attributes — and expands to nothing.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Accepts `#[derive(Serialize)]` and expands to nothing.

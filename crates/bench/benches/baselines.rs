@@ -11,16 +11,16 @@ fn bench_baseline_models(c: &mut Criterion) {
     let layer = zoo::vgg16_c8();
     c.bench_function("systolic_model_vgg_c8", |b| {
         let sa = SystolicArray::new(8, 8, 8);
-        b.iter(|| sa.run_conv(std::hint::black_box(&layer)))
+        b.iter(|| sa.run_conv(std::hint::black_box(&layer)));
     });
     c.bench_function("row_stationary_model_vgg_c8", |b| {
         let rs = RowStationary::new(8, 8, 8);
-        b.iter(|| rs.run_conv(std::hint::black_box(&layer)))
+        b.iter(|| rs.run_conv(std::hint::black_box(&layer)));
     });
     c.bench_function("cluster_model_vgg_c8_sparse", |b| {
         let cluster = FixedClusterArray::paper_baseline();
         let mask = WeightMask::generate(&layer, 0.5, &mut SimRng::seed(1));
-        b.iter(|| cluster.run_conv(std::hint::black_box(&layer), &mask, 3))
+        b.iter(|| cluster.run_conv(std::hint::black_box(&layer), &mask, 3));
     });
 }
 
@@ -38,7 +38,7 @@ fn bench_functional_fabric(c: &mut Criterion) {
                 std::hint::black_box(&input),
                 std::hint::black_box(&weights),
             )
-        })
+        });
     });
 }
 

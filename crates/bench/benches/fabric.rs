@@ -14,7 +14,7 @@ fn bench_vn_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("art_vn_construction");
     for &leaves in &[64usize, 256, 1024] {
         // Paper-flavoured irregular VN mix.
-        let sizes: Vec<usize> = (0..)
+        let sizes: Vec<usize> = (0..leaves)
             .map(|i| 3 + (i * 7) % 25)
             .scan(0usize, |used, s| {
                 *used += s;
@@ -26,7 +26,7 @@ fn bench_vn_construction(c: &mut Criterion) {
             BenchmarkId::new("irregular_mix", leaves),
             &ranges,
             |b, ranges| {
-                b.iter(|| ArtConfig::build(chubby(leaves, 8), std::hint::black_box(ranges)))
+                b.iter(|| ArtConfig::build(chubby(leaves, 8), std::hint::black_box(ranges)));
             },
         );
     }
@@ -42,7 +42,7 @@ fn bench_reduce(c: &mut Criterion) {
         let config = ArtConfig::build(chubby(leaves, 8), &ranges).unwrap();
         let values: Vec<f32> = (0..leaves).map(|i| i as f32 * 0.25).collect();
         group.bench_with_input(BenchmarkId::new("vn_size", vn), &config, |b, config| {
-            b.iter(|| config.reduce(std::hint::black_box(&values)))
+            b.iter(|| config.reduce(std::hint::black_box(&values)));
         });
     }
     group.finish();
@@ -52,7 +52,7 @@ fn bench_whole_tree_reduction(c: &mut Criterion) {
     c.bench_function("art_reduce_fc_256", |b| {
         let config = ArtConfig::build(chubby(256, 16), &[VnRange::new(0, 256)]).unwrap();
         let values: Vec<f32> = (0..256).map(|i| (i as f32).sin()).collect();
-        b.iter(|| config.reduce(std::hint::black_box(&values)))
+        b.iter(|| config.reduce(std::hint::black_box(&values)));
     });
 }
 

@@ -44,7 +44,7 @@ fn bench_lstm(c: &mut Criterion) {
     let mapper = LstmMapper::new(MaeriConfig::paper_64());
     let layer = LstmLayer::new("ds2_rnn", 1280, 1280);
     c.bench_function("lstm_mapper_ds2", |b| {
-        b.iter(|| mapper.run(std::hint::black_box(&layer)))
+        b.iter(|| mapper.run(std::hint::black_box(&layer)));
     });
 }
 
@@ -59,7 +59,7 @@ fn bench_cross_layer(c: &mut Criterion) {
         })
         .collect();
     c.bench_function("cross_layer_map_c", |b| {
-        b.iter(|| mapper.run(std::hint::black_box(&chain)))
+        b.iter(|| mapper.run(std::hint::black_box(&chain)));
     });
 }
 

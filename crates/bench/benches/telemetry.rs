@@ -22,7 +22,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
     let layer = layer();
     let mut group = c.benchmark_group("telemetry_probe_overhead");
     group.bench_function("plain", |b| {
-        b.iter(|| simulate_conv_layer(&cfg, std::hint::black_box(&layer), VnPolicy::Auto))
+        b.iter(|| simulate_conv_layer(&cfg, std::hint::black_box(&layer), VnPolicy::Auto));
     });
     group.bench_function("null_sink", |b| {
         b.iter(|| {
@@ -32,7 +32,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 VnPolicy::Auto,
                 &mut NullSink,
             )
-        })
+        });
     });
     group.bench_function("counting_sink", |b| {
         b.iter(|| {
@@ -43,7 +43,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 VnPolicy::Auto,
                 &mut sink,
             )
-        })
+        });
     });
     group.bench_function("telemetry_sink", |b| {
         b.iter(|| {
@@ -54,7 +54,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 VnPolicy::Auto,
                 &mut sink,
             )
-        })
+        });
     });
     group.finish();
 }

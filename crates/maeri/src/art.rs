@@ -210,7 +210,7 @@ impl ArtConfig {
             dead_fls: faults.map(|p| p.dead_links().clone()).unwrap_or_default(),
         };
         for (vn_idx, range) in vns.iter().enumerate() {
-            config.construct_vn(vn_idx, range)?;
+            config.construct_vn(vn_idx, range);
         }
         config.check_link_exclusivity()?;
         Ok(config)
@@ -220,7 +220,7 @@ impl ArtConfig {
     /// rise level by level; lone fragments prefer an active forwarding
     /// link toward the VN interior over climbing through an otherwise
     /// idle parent.
-    fn construct_vn(&mut self, vn_idx: usize, range: &VnRange) -> Result<()> {
+    fn construct_vn(&mut self, vn_idx: usize, range: &VnRange) {
         let leaf_level = self.tree.levels() - 1;
         let mut ops = Vec::new();
         // Fragment positions at the current level.
@@ -277,7 +277,6 @@ impl ArtConfig {
         }
         self.ops.push(ops);
         self.output_nodes.push(output_node);
-        Ok(())
     }
 
     /// Applies the Step 1/Step 2 forwarding-link rules among the lone

@@ -35,6 +35,12 @@ pub struct MaeriConfig {
     collect_bandwidth: usize,
     ms_local_buffers: usize,
     faults: Option<FaultSpec>,
+    // Cached topology, constructed once in `build()` so the accessors
+    // below are infallible field reads instead of re-validating
+    // constructors.
+    tree: BinaryTree,
+    dist_chubby: ChubbyTree,
+    collect_chubby: ChubbyTree,
 }
 
 impl MaeriConfig {
@@ -86,22 +92,25 @@ impl MaeriConfig {
         self.ms_local_buffers
     }
 
-    /// The shared tree skeleton of both networks.
+    /// The shared tree skeleton of both networks (cached at build
+    /// time; this is an infallible field read).
     #[must_use]
     pub fn tree(&self) -> BinaryTree {
-        BinaryTree::with_leaves(self.num_mult_switches).expect("validated at build time")
+        self.tree
     }
 
-    /// The distribution network's chubby bandwidth profile.
+    /// The distribution network's chubby bandwidth profile (cached at
+    /// build time; this is an infallible field read).
     #[must_use]
     pub fn distribution_chubby(&self) -> ChubbyTree {
-        ChubbyTree::new(self.tree(), self.dist_bandwidth).expect("validated at build time")
+        self.dist_chubby
     }
 
-    /// The ART's chubby bandwidth profile.
+    /// The ART's chubby bandwidth profile (cached at build time; this
+    /// is an infallible field read).
     #[must_use]
     pub fn collection_chubby(&self) -> ChubbyTree {
-        ChubbyTree::new(self.tree(), self.collect_bandwidth).expect("validated at build time")
+        self.collect_chubby
     }
 
     /// Pipeline depth of the ART (adder levels), which bounds the fill
@@ -158,15 +167,10 @@ impl MaeriConfig {
     /// Returns [`SimError::InvalidConfig`] when `vn_size` is zero or
     /// exceeds the multiplier count.
     pub fn validate_vn_size(&self, vn_size: usize) -> Result<()> {
-        if vn_size == 0 {
-            return Err(SimError::invalid_config(
-                "virtual neuron size must be at least one multiplier switch",
-            ));
-        }
-        if vn_size > self.num_mult_switches {
+        if vn_size == 0 || vn_size > self.num_mult_switches {
             return Err(SimError::invalid_config(format!(
-                "virtual neuron size {vn_size} exceeds the {} multiplier switches",
-                self.num_mult_switches
+                "vn_size {vn_size} out of range 1..={} (num_mult_switches = {})",
+                self.num_mult_switches, self.num_mult_switches
             )));
         }
         Ok(())
@@ -251,12 +255,20 @@ impl MaeriConfigBuilder {
         if let Some(spec) = self.faults {
             spec.validate()?;
         }
+        // Construct the topology once; the checks above guarantee
+        // these succeed, and the accessors become plain field reads.
+        let tree = BinaryTree::with_leaves(self.num_mult_switches)?;
+        let dist_chubby = ChubbyTree::new(tree, self.dist_bandwidth)?;
+        let collect_chubby = ChubbyTree::new(tree, self.collect_bandwidth)?;
         Ok(MaeriConfig {
             num_mult_switches: self.num_mult_switches,
             dist_bandwidth: self.dist_bandwidth,
             collect_bandwidth: self.collect_bandwidth,
             ms_local_buffers: self.ms_local_buffers,
             faults: self.faults,
+            tree,
+            dist_chubby,
+            collect_chubby,
         })
     }
 }
@@ -335,13 +347,33 @@ mod tests {
         let cfg = MaeriConfig::paper_64();
         assert!(cfg.validate_vn_size(1).is_ok());
         assert!(cfg.validate_vn_size(64).is_ok());
-        let err = cfg.validate_vn_size(65).unwrap_err();
-        assert!(
-            err.to_string().contains("exceeds the 64 multiplier"),
-            "{err}"
+        assert!(cfg.validate_vn_size(65).is_err());
+        assert!(cfg.validate_vn_size(0).is_err());
+    }
+
+    /// Snapshot: the message names the offending field and its bounds
+    /// in the same `<knob> <value> out of range <min>..=<max>` shape as
+    /// `maeri-verify`'s structured errors.
+    #[test]
+    fn vn_size_messages_name_field_and_bounds() {
+        let cfg = MaeriConfig::paper_64();
+        assert_eq!(
+            cfg.validate_vn_size(65).unwrap_err().to_string(),
+            "invalid configuration: vn_size 65 out of range 1..=64 (num_mult_switches = 64)"
         );
-        let err = cfg.validate_vn_size(0).unwrap_err();
-        assert!(err.to_string().contains("at least one"), "{err}");
+        assert_eq!(
+            cfg.validate_vn_size(0).unwrap_err().to_string(),
+            "invalid configuration: vn_size 0 out of range 1..=64 (num_mult_switches = 64)"
+        );
+        let small = MaeriConfig::builder(16)
+            .distribution_bandwidth(8)
+            .collection_bandwidth(8)
+            .build()
+            .unwrap();
+        assert_eq!(
+            small.validate_vn_size(17).unwrap_err().to_string(),
+            "invalid configuration: vn_size 17 out of range 1..=16 (num_mult_switches = 16)"
+        );
     }
 
     #[test]

@@ -235,9 +235,9 @@ impl Controller {
             let weights_from_dram = match layer {
                 Layer::Conv(conv) => conv.weight_count() as u64,
                 Layer::Fc(fc) => fc.macs(),
-                Layer::Pool(_) => 0,
                 // Four gate matrices over [x; h_prev].
                 Layer::Lstm(lstm) => lstm.gate_macs(),
+                // Pooling (and any future weightless layer) loads none.
                 _ => 0,
             };
             dram_words += weights_from_dram;

@@ -69,7 +69,7 @@ impl LstmMapper {
         let mut run = self.run_gate_phase_probed(layer, sink)?;
         let state = self.run_state_phase_probed(layer, sink)?;
         run.absorb(&state);
-        run.label = layer.name.clone();
+        run.label.clone_from(&layer.name);
         Ok(run)
     }
 
@@ -173,7 +173,7 @@ impl LstmMapper {
             self.gate_phase_folded_probed(layer, ceil_div(d, vn_size as u64), &mut NullSink)?;
         let state = self.run_state_phase(layer)?;
         run.absorb(&state);
-        run.label = layer.name.clone();
+        run.label.clone_from(&layer.name);
         Ok(run)
     }
 

@@ -196,11 +196,17 @@ fn oversized_and_zero_vn_sizes_rejected_by_trace() {
         fresh_inputs_per_step: 1,
     }];
     let err = simulate_conv_iteration(&cfg, &too_big, 1, 0).unwrap_err();
-    assert!(err.to_string().contains("exceeds"), "{err}");
+    assert!(
+        err.to_string().contains("vn_size 65 out of range 1..=64"),
+        "{err}"
+    );
     let zero = vec![LaneSpec {
         vn_size: 0,
         fresh_inputs_per_step: 1,
     }];
     let err = simulate_conv_iteration(&cfg, &zero, 1, 0).unwrap_err();
-    assert!(err.to_string().contains("at least one"), "{err}");
+    assert!(
+        err.to_string().contains("vn_size 0 out of range 1..=64"),
+        "{err}"
+    );
 }

@@ -9,6 +9,7 @@ use maeri::{
 use maeri_dnn::WeightMask;
 use maeri_sim::util::ceil_div;
 use maeri_sim::{Result, SimError, SimRng};
+use maeri_verify::{statically_reject, VerifyLayer};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -25,6 +26,12 @@ pub struct SearchCounters {
     /// Considered candidates dropped as infeasible or as duplicates of
     /// an already-scored mapping shape.
     pub pruned: u64,
+    /// The subset of `pruned` rejected by the static verifier
+    /// (`maeri-verify`) before any analytic scoring ran. The gate is
+    /// sound: it only rejects candidates scoring would reject too, so
+    /// `pruned` and `scored` are unchanged by it — this counter just
+    /// records how much scoring work the verifier saved.
+    pub statically_rejected: u64,
     /// Candidates scored with the analytic model.
     pub scored: u64,
     /// Frontier members validated with an exact `cycle_sim` trace.
@@ -107,9 +114,11 @@ impl SearchResult {
     /// worker count, or hash-map iteration order).
     #[must_use]
     pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
         let mut s = String::new();
-        s.push_str(&format!(
-            "search {} ({}, {}): space={} considered={} pruned={} scored={} validated={}\n",
+        let _ = writeln!(
+            s,
+            "search {} ({}, {}): space={} considered={} pruned={} scored={} validated={}",
             self.layer,
             self.kind,
             self.strategy,
@@ -118,14 +127,16 @@ impl SearchResult {
             self.counters.pruned,
             self.counters.scored,
             self.counters.validated
-        ));
-        s.push_str(&format!(
-            "  heuristic: {} -> {} cycles\n",
+        );
+        let _ = writeln!(
+            s,
+            "  heuristic: {} -> {} cycles",
             self.heuristic.candidate.describe(),
             self.heuristic.final_cycles()
-        ));
-        s.push_str(&format!(
-            "  best:      {} -> {} cycles (speedup {:.3}x, rank agreement {})\n",
+        );
+        let _ = writeln!(
+            s,
+            "  best:      {} -> {} cycles (speedup {:.3}x, rank agreement {})",
             self.best.candidate.describe(),
             self.best.final_cycles(),
             self.speedup(),
@@ -134,16 +145,17 @@ impl SearchResult {
                 Some(false) => "no",
                 None => "n/a",
             }
-        ));
+        );
         for entry in &self.frontier {
             let validated = entry
                 .validated_cycles
                 .map_or_else(|| "-".to_owned(), |v| v.to_string());
-            s.push_str(&format!(
-                "  frontier: {} analytic={} validated={validated}\n",
+            let _ = writeln!(
+                s,
+                "  frontier: {} analytic={} validated={validated}",
                 entry.candidate.describe(),
                 entry.analytic_cycles
-            ));
+            );
         }
         s
     }
@@ -197,6 +209,15 @@ pub fn search(spec: &SearchSpec) -> Result<SearchResult> {
                     scored: &mut Vec<Scored>|
      -> Option<u64> {
         counters.enumerated += 1;
+        // Static pre-score gate: candidates the verifier proves illegal
+        // skip the analytic model entirely. Scoring would reject every
+        // one of them too, so `pruned`/`scored` (and the report text
+        // derived from them) are byte-identical with the gate off.
+        if statically_reject(&spec.base, &verify_layer(spec, mask), &cand).is_some() {
+            counters.pruned += 1;
+            counters.statically_rejected += 1;
+            return None;
+        }
         match score(spec, mask, &cand) {
             Err(_) => {
                 counters.pruned += 1;
@@ -339,6 +360,19 @@ fn argmin<F: Fn(&CandidateOutcome) -> u64>(entries: &[CandidateOutcome], key: F)
         }
     }
     best
+}
+
+/// The spec's layer as the static verifier sees it.
+fn verify_layer<'a>(spec: &'a SearchSpec, mask: Option<&'a WeightMask>) -> VerifyLayer<'a> {
+    match &spec.layer {
+        SearchLayer::Conv(l) => VerifyLayer::Conv(l),
+        SearchLayer::SparseConv { layer, .. } => VerifyLayer::SparseConv {
+            layer,
+            mask: mask.expect("sparse search carries a mask"),
+        },
+        SearchLayer::Fc(l) => VerifyLayer::Fc(l),
+        SearchLayer::Lstm(l) => VerifyLayer::Lstm(l),
+    }
 }
 
 /// The legacy heuristic mapper's point in this spec's space.

@@ -5,15 +5,16 @@ use maeri::cycle_sim::{
     simulate_conv_iteration, simulate_conv_layer_telemetry, LaneSpec, TraceStats,
 };
 use maeri::{
-    ConvMapper, CrossLayerMapper, FcMapper, LoopOrder, LstmMapper, MaeriConfig, PoolMapper,
-    SparseConvMapper, VnPolicy,
+    CandidateKind, ConvMapper, CrossLayerMapper, FcMapper, LoopOrder, LstmMapper, MaeriConfig,
+    MappingCandidate, PoolMapper, SparseConvMapper, VnPolicy,
 };
 use maeri_baselines::{FixedClusterArray, RowStationary, SystolicArray};
 use maeri_dnn::{ConvLayer, FcLayer, LstmLayer, PoolLayer, WeightMask};
 use maeri_mapspace::{SearchLayer, SearchSpec, Strategy};
 use maeri_sim::SimRng;
+use maeri_verify::{statically_reject, VerifyLayer};
 
-use crate::output::{JobResult, SimOutput, TelemetryRun};
+use crate::output::{JobError, JobResult, SimOutput, TelemetryRun};
 
 /// The modelling fidelity a job runs at.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -354,6 +355,58 @@ impl SimJob {
         }
     }
 
+    /// Static pre-flight verification: job kinds the static verifier
+    /// covers fail fast with a structured, deterministic
+    /// [`JobError::InvalidMapping`] — before any mapper runs or any
+    /// cycle is clocked. Sound: it only rejects jobs whose execution
+    /// would fail too, so legal jobs are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::InvalidMapping`] carrying the violation and
+    /// its minimal counterexample.
+    pub fn verify(&self) -> Result<(), JobError> {
+        let violation = match self {
+            SimJob::DenseConv {
+                cfg,
+                layer,
+                policy: VnPolicy::Explicit(m),
+            } => {
+                let cand = MappingCandidate::with_base_bandwidth(CandidateKind::Conv(*m), cfg);
+                statically_reject(cfg, &VerifyLayer::Conv(layer), &cand)
+            }
+            SimJob::SparseConv {
+                cfg,
+                layer,
+                zero_fraction,
+                channel_tile,
+                mask_seed,
+            } => {
+                let mask = regenerate_mask(layer, *zero_fraction, *mask_seed);
+                let cand = MappingCandidate::with_base_bandwidth(
+                    CandidateKind::SparseConv {
+                        channel_tile: *channel_tile,
+                    },
+                    cfg,
+                );
+                statically_reject(cfg, &VerifyLayer::SparseConv { layer, mask: &mask }, &cand)
+            }
+            // Trace lanes carry raw VN sizes; bounds-check them against
+            // the fabric before building any flit stream.
+            SimJob::ConvTrace { cfg, lanes, .. } => lanes
+                .iter()
+                .find_map(|lane| cfg.validate_vn_size(lane.vn_size).err())
+                .map(|err| maeri_verify::VerifyError::Config {
+                    message: err.to_string(),
+                }),
+            _ => None,
+        };
+        match violation {
+            Some(err) => Err(JobError::InvalidMapping(err.to_string())),
+            None => Ok(()),
+        }
+    }
+
     /// Executes the job to completion. Pure: the result depends only on
     /// the job description, never on scheduling.
     ///
@@ -364,6 +417,7 @@ impl SimJob {
     /// Mapper-internal invariant violations also surface as panics and
     /// are isolated the same way.
     pub fn execute(&self) -> JobResult {
+        self.verify()?;
         match self {
             SimJob::DenseConv { cfg, layer, policy } => {
                 Ok(SimOutput::Run(ConvMapper::new(*cfg).run(layer, *policy)?))
@@ -723,7 +777,7 @@ impl JobKey {
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-        for &byte in self.0.iter() {
+        for &byte in &self.0 {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
         }
@@ -885,9 +939,16 @@ mod tests {
 
     #[test]
     fn unmappable_is_an_error_value() {
-        // Channel tile larger than the channel count is rejected.
+        // Channel tile larger than the channel count is rejected by the
+        // static pre-flight verifier, before any mapper runs.
         let job = SimJob::sparse_conv(MaeriConfig::paper_64(), layer(), 0.0, 99, 1);
-        assert!(matches!(job.execute(), Err(crate::JobError::Sim(_))));
+        let err = match job.execute() {
+            Err(crate::JobError::InvalidMapping(msg)) => msg,
+            other => panic!("expected InvalidMapping, got {other:?}"),
+        };
+        assert!(err.contains("channel_tile 99 out of range"), "{err}");
+        // Deterministic, so cached — never retried.
+        assert!(!crate::JobError::InvalidMapping(err).is_transient());
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub struct MetricsSnapshot {
     pub search_candidates: u64,
     /// Enumerated candidates pruned as infeasible or duplicate shapes.
     pub search_pruned: u64,
+    /// The subset of pruned candidates rejected by the static verifier
+    /// before any analytic scoring ran (see `maeri-verify`).
+    pub search_statically_rejected: u64,
     /// Frontier members validated with an exact cycle trace.
     pub search_validated: u64,
     /// Searches whose frontier was trace-validated (rank checkable).
@@ -69,53 +72,61 @@ impl MetricsSnapshot {
     /// the `regen_all` summary).
     #[must_use]
     pub fn render(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
         out.push_str("runtime metrics\n");
-        out.push_str(&format!(
-            "  jobs: {} submitted, {} executed, {} failed, {} cache hits\n",
+        let _ = writeln!(
+            out,
+            "  jobs: {} submitted, {} executed, {} failed, {} cache hits",
             self.submitted, self.executed, self.failed, self.cache_hits
-        ));
+        );
         if self.retries > 0 || self.timeouts > 0 {
-            out.push_str(&format!(
-                "  hardening: {} retries, {} timeouts\n",
+            let _ = writeln!(
+                out,
+                "  hardening: {} retries, {} timeouts",
                 self.retries, self.timeouts
-            ));
+            );
         }
-        out.push_str(&format!(
-            "  queue high-water: {} in flight\n",
+        let _ = writeln!(
+            out,
+            "  queue high-water: {} in flight",
             self.queue_high_water
-        ));
+        );
         if self.telemetry_runs > 0 {
-            out.push_str(&format!(
-                "  telemetry: {} instrumented runs, {} trace events\n",
+            let _ = writeln!(
+                out,
+                "  telemetry: {} instrumented runs, {} trace events",
                 self.telemetry_runs, self.telemetry_events
-            ));
+            );
         }
         if self.searches > 0 {
-            out.push_str(&format!(
-                "  search: {} searches, {} candidates ({} pruned, {} validated), rank agreement {}/{}\n",
+            let _ = writeln!(
+                out,
+                "  search: {} searches, {} candidates ({} pruned, {} statically rejected, {} validated), rank agreement {}/{}",
                 self.searches,
                 self.search_candidates,
                 self.search_pruned,
+                self.search_statically_rejected,
                 self.search_validated,
                 self.search_rank_agreements,
                 self.search_rank_checks
-            ));
+            );
         }
         if !self.phases.is_empty() {
             out.push_str("  phases:\n");
             let width = self.phases.iter().map(|p| p.name.len()).max().unwrap_or(0);
             for phase in &self.phases {
-                out.push_str(&format!(
-                    "    {:width$}  {:3} jobs  {:3} cached  {:8.2?}\n",
+                let _ = writeln!(
+                    out,
+                    "    {:width$}  {:3} jobs  {:3} cached  {:8.2?}",
                     phase.name,
                     phase.jobs,
                     phase.cache_hits,
                     phase.wall,
                     width = width
-                ));
+                );
             }
-            out.push_str(&format!("  total wall: {:.2?}\n", self.total_wall()));
+            let _ = writeln!(out, "  total wall: {:.2?}", self.total_wall());
         }
         out
     }
@@ -150,6 +161,10 @@ impl MetricsSnapshot {
             .with("searches", JsonValue::UInt(self.searches))
             .with("search_candidates", JsonValue::UInt(self.search_candidates))
             .with("search_pruned", JsonValue::UInt(self.search_pruned))
+            .with(
+                "search_statically_rejected",
+                JsonValue::UInt(self.search_statically_rejected),
+            )
             .with("search_validated", JsonValue::UInt(self.search_validated))
             .with(
                 "search_rank_checks",
@@ -181,6 +196,7 @@ pub struct RuntimeMetrics {
     searches: AtomicU64,
     search_candidates: AtomicU64,
     search_pruned: AtomicU64,
+    search_statically_rejected: AtomicU64,
     search_validated: AtomicU64,
     search_rank_checks: AtomicU64,
     search_rank_agreements: AtomicU64,
@@ -236,6 +252,8 @@ impl RuntimeMetrics {
             .fetch_add(counters.enumerated, Ordering::Relaxed);
         self.search_pruned
             .fetch_add(counters.pruned, Ordering::Relaxed);
+        self.search_statically_rejected
+            .fetch_add(counters.statically_rejected, Ordering::Relaxed);
         self.search_validated
             .fetch_add(counters.validated, Ordering::Relaxed);
         if let Some(agreed) = counters.rank_agreement {
@@ -282,6 +300,7 @@ impl RuntimeMetrics {
             searches: self.searches.load(Ordering::Relaxed),
             search_candidates: self.search_candidates.load(Ordering::Relaxed),
             search_pruned: self.search_pruned.load(Ordering::Relaxed),
+            search_statically_rejected: self.search_statically_rejected.load(Ordering::Relaxed),
             search_validated: self.search_validated.load(Ordering::Relaxed),
             search_rank_checks: self.search_rank_checks.load(Ordering::Relaxed),
             search_rank_agreements: self.search_rank_agreements.load(Ordering::Relaxed),

@@ -200,6 +200,10 @@ impl SimOutput {
 pub enum JobError {
     /// The simulator rejected the request (unmappable, bad config, ...).
     Sim(String),
+    /// The static verifier (`maeri-verify`) proved the mapping illegal
+    /// before execution; the message is the structured violation with
+    /// its counterexample. Deterministic, like [`JobError::Sim`].
+    InvalidMapping(String),
     /// The job panicked; the worker caught it and kept serving.
     Panicked(String),
     /// The job exceeded its per-attempt wall-clock budget; the watchdog
@@ -218,7 +222,7 @@ impl JobError {
     #[must_use]
     pub fn is_transient(&self) -> bool {
         match self {
-            JobError::Sim(_) => false,
+            JobError::Sim(_) | JobError::InvalidMapping(_) => false,
             JobError::Panicked(_) | JobError::TimedOut(_) => true,
         }
     }
@@ -229,6 +233,7 @@ impl JobError {
     pub fn canonical_text(&self) -> String {
         match self {
             JobError::Sim(msg) => format!("error sim={msg}"),
+            JobError::InvalidMapping(msg) => format!("error invalid_mapping={msg}"),
             JobError::Panicked(msg) => format!("error panic={msg}"),
             JobError::TimedOut(msg) => format!("error timeout={msg}"),
         }
@@ -245,6 +250,7 @@ impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::Sim(msg) => write!(f, "simulation error: {msg}"),
+            JobError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             JobError::TimedOut(msg) => write!(f, "job timed out: {msg}"),
         }

@@ -42,7 +42,7 @@ impl WorkerPool {
     pub(crate) fn new(
         num_workers: usize,
         queue_depth: usize,
-        metrics: Arc<RuntimeMetrics>,
+        metrics: &Arc<RuntimeMetrics>,
         policy: RetryPolicy,
     ) -> Self {
         let num_workers = num_workers.max(1);
@@ -51,7 +51,7 @@ impl WorkerPool {
         let workers = (0..num_workers)
             .map(|index| {
                 let task_rx = Arc::clone(&task_rx);
-                let metrics = Arc::clone(&metrics);
+                let metrics = Arc::clone(metrics);
                 std::thread::Builder::new()
                     .name(format!("maeri-worker-{index}"))
                     .spawn(move || worker_loop(&task_rx, &metrics, policy))
@@ -140,7 +140,7 @@ mod tests {
     fn pool(workers: usize) -> (WorkerPool, Arc<RuntimeMetrics>) {
         let metrics = Arc::new(RuntimeMetrics::new());
         (
-            WorkerPool::new(workers, 8, Arc::clone(&metrics), RetryPolicy::default()),
+            WorkerPool::new(workers, 8, &metrics, RetryPolicy::default()),
             metrics,
         )
     }

@@ -66,7 +66,7 @@ impl Runtime {
     ) -> Self {
         let metrics = Arc::new(RuntimeMetrics::new());
         Runtime {
-            pool: WorkerPool::new(workers, queue_depth, Arc::clone(&metrics), policy),
+            pool: WorkerPool::new(workers, queue_depth, &metrics, policy),
             cache: ResultCache::new(),
             metrics,
             policy,
@@ -255,9 +255,7 @@ fn default_workers() -> usize {
         }
         eprintln!("warning: ignoring invalid {WORKERS_ENV}={raw:?} (want a positive integer)");
     }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 #[cfg(test)]

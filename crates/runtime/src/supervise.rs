@@ -148,7 +148,8 @@ mod tests {
     fn deterministic_errors_consume_one_attempt() {
         let metrics = RuntimeMetrics::new();
         let policy = RetryPolicy::retrying(5, Duration::ZERO);
-        // Channel tile larger than the channel count: a Sim rejection.
+        // Channel tile larger than the channel count: statically
+        // rejected by the pre-flight verifier.
         let job = SimJob::sparse_conv(
             maeri::MaeriConfig::paper_64(),
             maeri_dnn::ConvLayer::new("k", 3, 8, 8, 4, 3, 3, 1, 1),
@@ -157,9 +158,9 @@ mod tests {
             1,
         );
         let result = execute_supervised(&job, &policy, &metrics);
-        assert!(matches!(result, Err(JobError::Sim(_))));
+        assert!(matches!(result, Err(JobError::InvalidMapping(_))));
         let snap = metrics.snapshot();
-        assert_eq!(snap.executed, 1, "Sim errors must not retry");
+        assert_eq!(snap.executed, 1, "deterministic errors must not retry");
         assert_eq!(snap.retries, 0);
     }
 

@@ -134,15 +134,15 @@ fn panicking_job_yields_job_error_while_the_rest_complete() {
             }
         ) {
             assert!(
-                matches!(result, Err(JobError::Sim(_))),
-                "unmappable point must fail as a sim error, got {result:?}"
+                matches!(result, Err(JobError::InvalidMapping(_))),
+                "unmappable point must be rejected by the pre-flight verifier, got {result:?}"
             );
         } else {
             assert!(result.is_ok(), "job {index} failed: {result:?}");
         }
     }
     let snapshot = runtime.metrics();
-    assert_eq!(snapshot.failed, 2, "one panic + one sim rejection");
+    assert_eq!(snapshot.failed, 2, "one panic + one static rejection");
     assert_eq!(snapshot.submitted, jobs.len() as u64);
 }
 

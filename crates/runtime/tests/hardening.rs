@@ -84,8 +84,8 @@ fn timed_out_results_are_never_served_from_the_cache() {
 fn deterministic_sim_errors_are_cached_not_retried() {
     let policy = RetryPolicy::retrying(5, Duration::from_millis(1));
     let runtime = Runtime::with_policy(1, policy);
-    // Channel tile larger than the channel count: a deterministic
-    // simulator rejection.
+    // Channel tile larger than the channel count: rejected up front by
+    // the static verifier — deterministically, so never retried.
     let job = SimJob::sparse_conv(
         maeri::MaeriConfig::paper_64(),
         maeri_dnn::ConvLayer::new("k", 3, 8, 8, 4, 3, 3, 1, 1),
@@ -93,10 +93,16 @@ fn deterministic_sim_errors_are_cached_not_retried() {
         99,
         1,
     );
-    assert!(matches!(runtime.run_one(&job), Err(JobError::Sim(_))));
-    assert!(matches!(runtime.run_one(&job), Err(JobError::Sim(_))));
+    assert!(matches!(
+        runtime.run_one(&job),
+        Err(JobError::InvalidMapping(_))
+    ));
+    assert!(matches!(
+        runtime.run_one(&job),
+        Err(JobError::InvalidMapping(_))
+    ));
     let snapshot = runtime.metrics();
-    assert_eq!(snapshot.executed, 1, "Sim errors never retry");
+    assert_eq!(snapshot.executed, 1, "deterministic rejections never retry");
     assert_eq!(snapshot.retries, 0);
     assert_eq!(snapshot.cache_hits, 1, "and the rejection is cached");
 }

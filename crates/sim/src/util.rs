@@ -32,7 +32,7 @@ pub fn ceil_div(items: u64, width: u64) -> u64 {
 /// ```
 #[must_use]
 pub fn is_pow2(n: usize) -> bool {
-    n != 0 && n & (n - 1) == 0
+    n.is_power_of_two()
 }
 
 /// The smallest power of two greater than or equal to `n`.

@@ -52,38 +52,35 @@ impl FabricTelemetry {
     /// to six decimals so two identical runs produce identical bytes.
     #[must_use]
     pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
         let mut out = String::new();
-        out.push_str(&format!("cycles: {}\n", self.cycles));
-        out.push_str(&format!(
-            "mult_busy_fraction: {:.6}\n",
-            self.mult_busy_fraction
-        ));
-        out.push_str(&format!(
-            "dist_stall_fraction: {:.6}\n",
-            self.dist_stall_fraction
-        ));
-        out.push_str(&format!(
-            "collect_stall_fraction: {:.6}\n",
+        let _ = writeln!(out, "cycles: {}", self.cycles);
+        let _ = writeln!(out, "mult_busy_fraction: {:.6}", self.mult_busy_fraction);
+        let _ = writeln!(out, "dist_stall_fraction: {:.6}", self.dist_stall_fraction);
+        let _ = writeln!(
+            out,
+            "collect_stall_fraction: {:.6}",
             self.collect_stall_fraction
-        ));
-        out.push_str(&format!("art_active_adders: {}\n", self.art_active_adders));
-        out.push_str(&format!("art_forward_links: {}\n", self.art_forward_links));
+        );
+        let _ = writeln!(out, "art_active_adders: {}", self.art_active_adders);
+        let _ = writeln!(out, "art_forward_links: {}", self.art_forward_links);
         out.push_str("dist_level_utilization:");
         for u in &self.dist_level_utilization {
-            out.push_str(&format!(" {u:.6}"));
+            let _ = write!(out, " {u:.6}");
         }
         out.push('\n');
         let mut latency = self.vn_latency.clone();
-        out.push_str(&format!(
-            "vn_latency: n={} p50={} p95={} max={}\n",
+        let _ = writeln!(
+            out,
+            "vn_latency: n={} p50={} p95={} max={}",
             latency.len(),
             latency.percentile(50.0).unwrap_or(0),
             latency.percentile(95.0).unwrap_or(0),
             latency.max().unwrap_or(0),
-        ));
+        );
         out.push_str("events:");
         for (kind, count) in self.events.iter() {
-            out.push_str(&format!(" {kind}={count}"));
+            let _ = write!(out, " {kind}={count}");
         }
         out.push('\n');
         out

@@ -109,6 +109,7 @@ impl JsonValue {
 }
 
 fn escape_into(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -116,7 +117,9 @@ fn escape_into(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
             c => out.push(c),
         }
     }

@@ -1,0 +1,282 @@
+//! Structured verification errors carrying minimal counterexamples.
+//!
+//! A violation is never reported as a bare boolean or prose string: each
+//! variant names the level, node ids, and conflicting VN pair (or the
+//! offending knob and its bounds) that demonstrate the illegality, so a
+//! failed verification is directly actionable and testable.
+
+use std::fmt;
+
+use maeri_noc::topology::NodeId;
+
+/// Which tree network a bandwidth finding refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Network {
+    /// The chubby distribution tree (prefetch buffer to multipliers).
+    Distribution,
+    /// The ART / collection network (multipliers back to the buffer).
+    Collection,
+}
+
+impl fmt::Display for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Network::Distribution => f.write_str("distribution"),
+            Network::Collection => f.write_str("collection"),
+        }
+    }
+}
+
+/// A statically proven legality violation.
+///
+/// The variants map onto the five invariants of the paper that
+/// `maeri-verify` checks (see DESIGN.md section 11):
+///
+/// 1. VN contiguity/disjointness over the multiplier leaves
+///    ([`VerifyError::VnOutOfRange`], [`VerifyError::VnOverlap`]),
+/// 2. ART link exclusivity for the induced reduction forest
+///    ([`VerifyError::LinkClaimedTwice`], [`VerifyError::AdderOverloaded`]),
+/// 3. per-level bandwidth feasibility ([`VerifyError::BandwidthInfeasible`]),
+/// 4. MAC conservation ([`VerifyError::MacMismatch`]),
+/// 5. fault consistency ([`VerifyError::DeadLeaf`]).
+///
+/// Knob/bounds violations that make a candidate unmappable before any
+/// partition exists surface as [`VerifyError::KnobOutOfRange`],
+/// [`VerifyError::Config`], [`VerifyError::NothingMappable`], or
+/// [`VerifyError::KindMismatch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// Invariant 1: VN `vn` covers leaves `start..end`, which leaves the
+    /// `leaves`-wide multiplier array.
+    VnOutOfRange {
+        /// Index of the offending VN in the supplied partition.
+        vn: usize,
+        /// First leaf the VN claims.
+        start: usize,
+        /// One past the last leaf the VN claims.
+        end: usize,
+        /// Number of multiplier leaves in the fabric.
+        leaves: usize,
+    },
+    /// Invariant 1: two VNs both claim `leaf`.
+    VnOverlap {
+        /// Index of the lower-starting VN of the conflicting pair.
+        first_vn: usize,
+        /// Index of the higher-starting VN of the conflicting pair.
+        second_vn: usize,
+        /// A leaf both VNs cover.
+        leaf: usize,
+    },
+    /// Invariant 5: VN `vn` covers the dead multiplier switch `leaf`.
+    DeadLeaf {
+        /// Index of the offending VN.
+        vn: usize,
+        /// The dead leaf it covers.
+        leaf: usize,
+    },
+    /// Invariant 2: the forwarding link between `from` and `to` at
+    /// `level` would be claimed by two VNs.
+    LinkClaimedTwice {
+        /// Tree level of both endpoints.
+        level: usize,
+        /// Sending node of the second (conflicting) activation.
+        from: NodeId,
+        /// Receiving node of the second (conflicting) activation.
+        to: NodeId,
+        /// VN that claimed the link first.
+        first_vn: usize,
+        /// VN whose claim collides.
+        second_vn: usize,
+    },
+    /// Invariant 2: adder switch `node` would need more than its three
+    /// input ports.
+    AdderOverloaded {
+        /// Tree level of the adder.
+        level: usize,
+        /// The overloaded adder switch.
+        node: NodeId,
+        /// Addends demanded of it.
+        addends: usize,
+        /// First VN contributing addends.
+        first_vn: usize,
+        /// Last VN contributing addends (distinct from `first_vn`).
+        second_vn: usize,
+    },
+    /// Invariant 3 (strict form): `level` of `network` must move `load`
+    /// words per cycle over links of width `capacity`.
+    BandwidthInfeasible {
+        /// Which tree network is the bottleneck.
+        network: Network,
+        /// Tree level of the bottleneck link (0 = root port).
+        level: usize,
+        /// Worst per-cycle word demand on one link of the level.
+        load: u64,
+        /// Words per cycle the link can carry.
+        capacity: u64,
+    },
+    /// Invariant 4: the mapping assigns `assigned` of the `expected`
+    /// units of work (each weight×input pair must be assigned exactly
+    /// once; trailing idle switches drop none).
+    MacMismatch {
+        /// Units the layer defines.
+        expected: u64,
+        /// Units the mapping assigns.
+        assigned: u64,
+        /// What is being counted (e.g. `"conv channel tiling"`).
+        unit: &'static str,
+    },
+    /// A mapping knob sits outside its legal range.
+    KnobOutOfRange {
+        /// The knob's name (e.g. `"channel_tile"`).
+        knob: &'static str,
+        /// The supplied value.
+        value: usize,
+        /// Smallest legal value.
+        min: usize,
+        /// Largest legal value.
+        max: usize,
+    },
+    /// The candidate's fabric parameters fail configuration validation.
+    Config {
+        /// The builder's validation message.
+        message: String,
+    },
+    /// Every multiplier switch is faulty; no VN can be formed.
+    NothingMappable,
+    /// The candidate kind does not match the layer kind.
+    KindMismatch {
+        /// The candidate's kind label.
+        candidate: &'static str,
+        /// The layer's kind label.
+        layer: &'static str,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::VnOutOfRange {
+                vn,
+                start,
+                end,
+                leaves,
+            } => write!(
+                f,
+                "vn {vn} covers leaves {start}..{end}, out of range 0..{leaves}"
+            ),
+            VerifyError::VnOverlap {
+                first_vn,
+                second_vn,
+                leaf,
+            } => write!(f, "vn {first_vn} and vn {second_vn} both cover leaf {leaf}"),
+            VerifyError::DeadLeaf { vn, leaf } => {
+                write!(f, "vn {vn} covers dead multiplier switch {leaf}")
+            }
+            VerifyError::LinkClaimedTwice {
+                level,
+                from,
+                to,
+                first_vn,
+                second_vn,
+            } => write!(
+                f,
+                "forwarding link {from}-{to} at level {level} claimed by vn {first_vn} and vn {second_vn}"
+            ),
+            VerifyError::AdderOverloaded {
+                level,
+                node,
+                addends,
+                first_vn,
+                second_vn,
+            } => write!(
+                f,
+                "adder switch {node} at level {level} needs {addends} addends (vn {first_vn} vs vn {second_vn}); 3 is the port budget"
+            ),
+            VerifyError::BandwidthInfeasible {
+                network,
+                level,
+                load,
+                capacity,
+            } => write!(
+                f,
+                "{network} level {level} load {load} out of range 0..={capacity} words/cycle"
+            ),
+            VerifyError::MacMismatch {
+                expected,
+                assigned,
+                unit,
+            } => write!(
+                f,
+                "{unit} assigns {assigned} of {expected} weight-input pairs"
+            ),
+            VerifyError::KnobOutOfRange {
+                knob,
+                value,
+                min,
+                max,
+            } => write!(f, "{knob} {value} out of range {min}..={max}"),
+            VerifyError::Config { message } => write!(f, "fabric configuration invalid: {message}"),
+            VerifyError::NothingMappable => {
+                f.write_str("every multiplier switch is faulty; no virtual neuron can be formed")
+            }
+            VerifyError::KindMismatch { candidate, layer } => {
+                write!(f, "candidate kind {candidate} does not match {layer} layer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_stable() {
+        let cases: Vec<(VerifyError, &str)> = vec![
+            (
+                VerifyError::VnOutOfRange {
+                    vn: 2,
+                    start: 60,
+                    end: 68,
+                    leaves: 64,
+                },
+                "vn 2 covers leaves 60..68, out of range 0..64",
+            ),
+            (
+                VerifyError::VnOverlap {
+                    first_vn: 0,
+                    second_vn: 1,
+                    leaf: 4,
+                },
+                "vn 0 and vn 1 both cover leaf 4",
+            ),
+            (
+                VerifyError::DeadLeaf { vn: 3, leaf: 17 },
+                "vn 3 covers dead multiplier switch 17",
+            ),
+            (
+                VerifyError::KnobOutOfRange {
+                    knob: "channel_tile",
+                    value: 99,
+                    min: 1,
+                    max: 3,
+                },
+                "channel_tile 99 out of range 1..=3",
+            ),
+            (
+                VerifyError::BandwidthInfeasible {
+                    network: Network::Collection,
+                    level: 0,
+                    load: 8,
+                    capacity: 1,
+                },
+                "collection level 0 load 8 out of range 0..=1 words/cycle",
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.to_string(), want);
+        }
+    }
+}

@@ -1,0 +1,444 @@
+//! The repository invariant checks behind `cargo run -p xtask -- lint`.
+//!
+//! Every check is a pure function over `(path, content)` pairs so the
+//! unit tests below can prove each one fails on a seeded violation
+//! without touching the real tree. The binary (`main.rs`) walks the
+//! workspace and feeds real files through the same functions.
+//!
+//! Checks:
+//!
+//! 1. **Probe-twin sync** — every `pub fn NAME_probed` in `crates/maeri`
+//!    and `crates/noc` must have a plain `fn NAME` in the same file,
+//!    and one of the pair must delegate to the other (so the probed and
+//!    unprobed entry points cannot drift apart).
+//! 2. **Unwrap allowlist** — `.unwrap()` / `.expect(` outside
+//!    `#[cfg(test)]` code is only allowed in allowlisted files, and
+//!    allowlist entries that no longer match anything are stale.
+//! 3. **Report registry** — `crates/bench/src/reports/mod.rs` ids must
+//!    be unique, contiguous, and start at 1 (EXPERIMENTS.md quotes
+//!    them).
+//! 4. **Unsafe-code headers** — every crate entry point carries
+//!    `#![forbid(unsafe_code)]`.
+
+/// One violated invariant: the offending path plus a human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// What is wrong and how to fix it.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(path: &str, message: impl Into<String>) -> Self {
+        Finding {
+            path: path.to_owned(),
+            message: message.into(),
+        }
+    }
+}
+
+/// Files allowed to call `.unwrap()` / `.expect(` outside test code.
+/// Every entry documents a deliberate panic-on-violated-invariant
+/// policy (poisoned mutexes, validated-at-build-time constants, report
+/// printers that own their inputs). Adding a file here is a reviewed
+/// decision; entries that stop matching are flagged as stale.
+pub const UNWRAP_ALLOWLIST: &[&str] = &[
+    "crates/baselines/src/cluster.rs",
+    "crates/bench/src/bin/mapcheck.rs",
+    "crates/bench/src/experiments.rs",
+    "crates/bench/src/reports/ablations.rs",
+    "crates/bench/src/reports/energy.rs",
+    "crates/bench/src/reports/fault_sweep.rs",
+    "crates/bench/src/reports/figure13.rs",
+    "crates/bench/src/reports/figure16.rs",
+    "crates/bench/src/reports/mapping_search.rs",
+    "crates/bench/src/reports/telemetry_profile.rs",
+    "crates/dnn/src/tensor.rs",
+    "crates/maeri/src/art.rs",
+    "crates/maeri/src/config.rs",
+    "crates/maeri/src/functional.rs",
+    "crates/maeri/src/viz.rs",
+    "crates/mapspace/src/search.rs",
+    "crates/noc/src/ppa.rs",
+    "crates/runtime/src/cache.rs",
+    "crates/runtime/src/metrics.rs",
+    "crates/runtime/src/pool.rs",
+    "crates/runtime/src/runtime.rs",
+    "crates/runtime/src/supervise.rs",
+    "crates/telemetry/src/json.rs",
+];
+
+/// The portion of a source file that ships in the library/binary: the
+/// text above the first `#[cfg(test)]` marker (this workspace keeps
+/// test modules at the end of each file).
+fn non_test(content: &str) -> &str {
+    match content.find("#[cfg(test)]") {
+        Some(idx) => &content[..idx],
+        None => content,
+    }
+}
+
+/// Whether the trimmed line is a comment (line or doc comment).
+fn is_comment(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//")
+}
+
+/// Check 2: `.unwrap()` / `.expect(` outside tests and outside the
+/// allowlist. `files` are `(repo-relative path, content)` pairs for the
+/// whole scan scope; the allowlist is cross-checked for staleness.
+pub fn check_unwraps(files: &[(String, String)], allowlist: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut matched: Vec<&str> = Vec::new();
+    for (path, content) in files {
+        let mut hits = 0usize;
+        let mut first_line = 0usize;
+        for (i, line) in non_test(content).lines().enumerate() {
+            if is_comment(line) {
+                continue;
+            }
+            if line.contains(".unwrap()") || line.contains(".expect(") {
+                hits += 1;
+                if first_line == 0 {
+                    first_line = i + 1;
+                }
+            }
+        }
+        if hits == 0 {
+            continue;
+        }
+        if let Some(entry) = allowlist.iter().find(|e| **e == path.as_str()) {
+            matched.push(entry);
+        } else {
+            findings.push(Finding::new(
+                path,
+                format!(
+                    "{hits} non-test unwrap()/expect() call(s) (first at line {first_line}); \
+                     return a Result or add the file to UNWRAP_ALLOWLIST"
+                ),
+            ));
+        }
+    }
+    for entry in allowlist {
+        if !matched.contains(entry) {
+            findings.push(Finding::new(
+                entry,
+                "stale UNWRAP_ALLOWLIST entry: no non-test unwrap()/expect() left (remove it)",
+            ));
+        }
+    }
+    findings
+}
+
+/// Extracts the body of the function whose signature starts at
+/// `sig_start` (the index of its `fn` keyword): the text between the
+/// first `{` after the signature and its matching `}`.
+fn fn_body(content: &str, sig_start: usize) -> Option<&str> {
+    let rest = &content[sig_start..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open + 1..open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Finds the `fn NAME` definition (not `NAME_probed`, not a prefix of a
+/// longer name) and returns the index of its `fn` keyword.
+fn find_fn(content: &str, name: &str) -> Option<usize> {
+    let needle = format!("fn {name}");
+    let mut from = 0;
+    while let Some(rel) = content[from..].find(&needle) {
+        let at = from + rel;
+        let after = content[at + needle.len()..].chars().next();
+        if matches!(after, Some('(' | '<')) {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+/// Base names of the `*_probed` functions a body calls (`foo_probed(`
+/// yields `foo`).
+fn probed_calls(body: &str) -> Vec<&str> {
+    let mut names = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = body[from..].find("_probed(") {
+        let at = from + rel;
+        let head = &body[..at];
+        let start = head
+            .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .map_or(0, |i| i + 1);
+        if start < at {
+            names.push(&body[start..at]);
+        }
+        from = at + "_probed(".len();
+    }
+    names
+}
+
+/// Check 1: probed entry points stay in sync with their plain twins.
+pub fn check_probe_twins(path: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let code = non_test(content);
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("pub fn ") {
+        let at = from + rel;
+        let name_start = at + "pub fn ".len();
+        let name: String = code[name_start..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        from = name_start + name.len().max(1);
+        let Some(base) = name.strip_suffix("_probed") else {
+            continue;
+        };
+        let Some(plain_at) = find_fn(code, base) else {
+            findings.push(Finding::new(
+                path,
+                format!("probed entry point `{name}` has no plain twin `fn {base}`"),
+            ));
+            continue;
+        };
+        let probed_body = find_fn(code, &name).and_then(|i| fn_body(code, i));
+        let plain_body = fn_body(code, plain_at);
+        // Direct delegation: one twin calls the other.
+        let mut delegates = probed_body.is_some_and(|b| b.contains(&format!("{base}(")))
+            || plain_body.is_some_and(|b| b.contains(name.as_str()));
+        // Parallel delegation: both twins forward to the same inner
+        // pair (`multicast_cycles` → `delivery_cycles`,
+        // `multicast_cycles_probed` → `delivery_cycles_probed`), so
+        // drift is prevented one level down.
+        if !delegates {
+            if let (Some(pb), Some(nb)) = (probed_body, plain_body) {
+                delegates = probed_calls(pb)
+                    .iter()
+                    .any(|inner| nb.contains(&format!("{inner}(")));
+            }
+        }
+        if !delegates {
+            findings.push(Finding::new(
+                path,
+                format!(
+                    "`{name}` and `fn {base}` do not delegate to each other; \
+                     reimplementing one risks probe drift"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Check 3: the report registry's ids are unique, contiguous, and
+/// start at 1; names are unique.
+pub fn check_report_registry(path: &str, content: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut entries: Vec<(usize, String)> = Vec::new();
+    let mut in_registry = false;
+    for line in content.lines() {
+        if line.contains("pub const REPORTS") {
+            in_registry = true;
+            continue;
+        }
+        if !in_registry {
+            continue;
+        }
+        if line.trim_start().starts_with("];") {
+            break;
+        }
+        let t = line.trim_start();
+        let Some(rest) = t.strip_prefix('(') else {
+            continue;
+        };
+        let Some((id_text, tail)) = rest.split_once(',') else {
+            continue;
+        };
+        let Ok(id) = id_text.trim().parse::<usize>() else {
+            continue;
+        };
+        let name = tail.split('"').nth(1).unwrap_or("").to_owned();
+        entries.push((id, name));
+    }
+    if entries.is_empty() {
+        findings.push(Finding::new(path, "no REPORTS registry entries found"));
+        return findings;
+    }
+    for (i, (id, _)) in entries.iter().enumerate() {
+        if *id != i + 1 {
+            findings.push(Finding::new(
+                path,
+                format!(
+                    "report ids must be contiguous from 1: position {} holds id {id}",
+                    i + 1
+                ),
+            ));
+        }
+    }
+    let mut names: Vec<&str> = entries.iter().map(|(_, n)| n.as_str()).collect();
+    names.sort_unstable();
+    for pair in names.windows(2) {
+        if pair[0] == pair[1] {
+            findings.push(Finding::new(
+                path,
+                format!("duplicate report name \"{}\"", pair[0]),
+            ));
+        }
+    }
+    findings
+}
+
+/// Check 4: crate entry points must forbid unsafe code at the source
+/// level (the workspace lint table covers crates that opt in; the
+/// header makes the guarantee visible and file-local).
+pub fn check_forbid_unsafe(path: &str, content: &str) -> Vec<Finding> {
+    if content.contains("#![forbid(unsafe_code)]") {
+        Vec::new()
+    } else {
+        vec![Finding::new(
+            path,
+            "crate entry point is missing `#![forbid(unsafe_code)]`",
+        )]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(entries: &[(&str, &str)]) -> Vec<(String, String)> {
+        entries
+            .iter()
+            .map(|(p, c)| ((*p).to_owned(), (*c).to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_outside_allowlist_is_flagged() {
+        let files = pairs(&[(
+            "crates/foo/src/lib.rs",
+            "pub fn f() { let x: Option<u8> = None; x.unwrap(); }",
+        )]);
+        let findings = check_unwraps(&files, &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("1 non-test unwrap()"));
+        assert!(findings[0].message.contains("line 1"));
+    }
+
+    #[test]
+    fn allowlisted_unwrap_passes_and_test_code_is_ignored() {
+        let files = pairs(&[
+            (
+                "crates/foo/src/lib.rs",
+                "pub fn f() { g().expect(\"invariant\"); }",
+            ),
+            (
+                "crates/bar/src/lib.rs",
+                "pub fn f() {}\n#[cfg(test)]\nmod tests { fn t() { f().unwrap(); } }",
+            ),
+            (
+                "crates/baz/src/lib.rs",
+                "// a comment mentioning .unwrap() is fine\npub fn f() {}",
+            ),
+        ]);
+        assert_eq!(check_unwraps(&files, &["crates/foo/src/lib.rs"]), vec![]);
+    }
+
+    #[test]
+    fn stale_allowlist_entry_is_flagged() {
+        let files = pairs(&[("crates/foo/src/lib.rs", "pub fn f() {}")]);
+        let findings = check_unwraps(&files, &["crates/foo/src/lib.rs"]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn missing_plain_twin_is_flagged() {
+        let src = "pub fn fire_probed(sink: &mut S) -> u8 { 0 }";
+        let findings = check_probe_twins("crates/maeri/src/switch.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no plain twin `fn fire`"));
+    }
+
+    #[test]
+    fn non_delegating_twins_are_flagged() {
+        // Both exist but each reimplements the logic independently.
+        let src = "pub fn fire() -> u8 { compute() }\n\
+                   pub fn fire_probed(sink: &mut S) -> u8 { compute_and_emit(sink) }";
+        let findings = check_probe_twins("crates/maeri/src/switch.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("do not delegate"));
+    }
+
+    #[test]
+    fn delegating_twins_pass_both_directions() {
+        // Probed delegates to plain.
+        let a = "pub fn fire() -> u8 { compute() }\n\
+                 pub fn fire_probed(sink: &mut S) -> u8 { let v = self.fire(); sink.emit(); v }";
+        assert_eq!(check_probe_twins("a.rs", a), vec![]);
+        // Plain delegates to probed.
+        let b = "pub fn run() -> u8 { run_probed(&mut NullSink) }\n\
+                 pub fn run_probed<S>(sink: &mut S) -> u8 { 0 }";
+        assert_eq!(check_probe_twins("b.rs", b), vec![]);
+    }
+
+    #[test]
+    fn parallel_delegation_to_an_inner_pair_passes() {
+        let src = "pub fn delivery() -> u8 { compute() }\n\
+                   pub fn delivery_probed<S>(sink: &mut S) -> u8 { let v = self.delivery(); v }\n\
+                   pub fn multicast() -> u8 { self.delivery() }\n\
+                   pub fn multicast_probed<S>(sink: &mut S) -> u8 { self.delivery_probed(sink) }";
+        assert_eq!(check_probe_twins("dist.rs", src), vec![]);
+    }
+
+    #[test]
+    fn registry_gap_and_duplicate_are_flagged() {
+        let src = r#"
+pub const REPORTS: &[(usize, &str, fn())] = &[
+    (1, "table1", table1::run),
+    (3, "figure11", figure11::run),
+    (4, "table1", table1::run),
+];
+"#;
+        let findings = check_report_registry("mod.rs", src);
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("position 2 holds id 3")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("duplicate report name \"table1\"")));
+    }
+
+    #[test]
+    fn contiguous_registry_passes() {
+        let src = r#"
+pub const REPORTS: &[(usize, &str, fn())] = &[
+    (1, "table1", table1::run),
+    (2, "table3", table3::run),
+];
+"#;
+        assert_eq!(check_report_registry("mod.rs", src), vec![]);
+    }
+
+    #[test]
+    fn missing_forbid_header_is_flagged() {
+        assert_eq!(
+            check_forbid_unsafe("lib.rs", "//! docs\npub fn f() {}").len(),
+            1
+        );
+        assert_eq!(
+            check_forbid_unsafe("lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}"),
+            vec![]
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Repo automation tasks. Usage: `cargo run -p xtask -- lint`.
+//!
+//! `lint` walks the workspace and enforces the invariants implemented
+//! in [`lint`] (probe-twin sync, the unwrap allowlist, report-registry
+//! contiguity, `#![forbid(unsafe_code)]` headers). Exits non-zero with
+//! one line per finding so CI can gate on it.
+
+mod lint;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => run_lint(),
+        other => {
+            eprintln!(
+                "unknown task {:?}; available tasks: lint",
+                other.unwrap_or("<none>")
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Recursively collects `.rs` files under `dir`, returning
+/// repo-relative slash-separated paths paired with file contents.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(root, &path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .expect("walked paths live under the workspace root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            let content = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("failed to read {rel}: {e}"));
+            out.push((rel, content));
+        }
+    }
+}
+
+/// Lists the immediate subdirectories of `root/group` (e.g. every crate
+/// under `crates/`).
+fn subdirs(root: &Path, group: &str) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(root.join(group)) else {
+        return Vec::new();
+    };
+    let mut dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut findings = Vec::new();
+
+    // Library source scope: src/ of the facade crate plus every crate
+    // and compat shim, excluding xtask itself (its lint literals and
+    // fixtures would trip the scans).
+    let mut sources: Vec<(String, String)> = Vec::new();
+    collect_rs(&root, &root.join("src"), &mut sources);
+    for group in ["crates", "compat"] {
+        for dir in subdirs(&root, group) {
+            if dir.file_name().is_some_and(|n| n == "xtask") {
+                continue;
+            }
+            collect_rs(&root, &dir.join("src"), &mut sources);
+        }
+    }
+
+    // 1. Probe twins in the fabric crates.
+    for (path, content) in &sources {
+        if path.starts_with("crates/maeri/src") || path.starts_with("crates/noc/src") {
+            findings.extend(lint::check_probe_twins(path, content));
+        }
+    }
+
+    // 2. Non-test unwrap()/expect() against the allowlist.
+    findings.extend(lint::check_unwraps(&sources, lint::UNWRAP_ALLOWLIST));
+
+    // 3. Report registry ids.
+    let registry = "crates/bench/src/reports/mod.rs";
+    match sources.iter().find(|(p, _)| p == registry) {
+        Some((path, content)) => findings.extend(lint::check_report_registry(path, content)),
+        None => findings.push(lint::Finding {
+            path: registry.to_owned(),
+            message: "report registry file is missing".to_owned(),
+        }),
+    }
+
+    // 4. `#![forbid(unsafe_code)]` on every crate entry point.
+    for (path, content) in &sources {
+        if path.ends_with("/lib.rs") || path == "src/lib.rs" {
+            findings.extend(lint::check_forbid_unsafe(path, content));
+        }
+    }
+
+    if findings.is_empty() {
+        println!(
+            "xtask lint: {} source files checked, no findings",
+            sources.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("xtask lint: {}: {}", f.path, f.message);
+        }
+        eprintln!("xtask lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

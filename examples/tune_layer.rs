@@ -11,14 +11,20 @@
 //! (CI diffs two runs to prove it).
 //! `cargo run --example tune_layer -- --strategy beam` — beam search
 //! from the heuristic's point.
+//! `cargo run --example tune_layer -- --faulty` — the same search for
+//! an FC layer on a fabric with dead multiplier switches; the static
+//! verifier prunes every knob the faults make illegal before scoring
+//! (CI asserts the printed `statically rejected` count is nonzero).
 
-use maeri_repro::dnn::ConvLayer;
+use maeri_repro::dnn::{ConvLayer, FcLayer};
+use maeri_repro::fabric::fault::FaultSpec;
 use maeri_repro::fabric::MaeriConfig;
 use maeri_repro::mapspace::{search, SearchLayer, SearchSpec, Strategy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut strategy = "exhaustive".to_owned();
     let mut seed: u64 = 42;
+    let mut faulty = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -28,6 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--seed" => {
                 seed = args.next().ok_or("--seed needs a value")?.parse()?;
             }
+            "--faulty" => faulty = true,
             other => return Err(format!("unknown argument {other:?}").into()),
         }
     }
@@ -41,12 +48,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => return Err(format!("unknown strategy {other:?}").into()),
     };
 
-    let layer = ConvLayer::new("alexnet_c3", 256, 13, 13, 384, 3, 3, 1, 1);
-    let spec =
-        SearchSpec::new(SearchLayer::Conv(layer), MaeriConfig::paper_64()).with_strategy(strategy);
+    let spec = if faulty {
+        // Dead multipliers shrink the largest healthy span below 64, so
+        // part of the FC vn_size range becomes statically illegal.
+        let base = MaeriConfig::builder(64)
+            .faults(FaultSpec::new(5).dead_multipliers(500))
+            .build()?;
+        let layer = FcLayer::new("fc6", 256, 64);
+        SearchSpec::new(SearchLayer::Fc(layer), base).with_strategy(strategy)
+    } else {
+        let layer = ConvLayer::new("alexnet_c3", 256, 13, 13, 384, 3, 3, 1, 1);
+        SearchSpec::new(SearchLayer::Conv(layer), MaeriConfig::paper_64()).with_strategy(strategy)
+    };
     let result = search(&spec)?;
 
     print!("{}", result.canonical_text());
+    if faulty {
+        println!(
+            "statically rejected: {}",
+            result.counters.statically_rejected
+        );
+    }
     println!(
         "tuned mapping is {} ({} -> {} cycles, {:.3}x)",
         result.best.candidate.describe(),

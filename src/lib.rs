@@ -17,6 +17,9 @@
 //! * [`ppa`] — the calibrated 28 nm area/power model ([`maeri_ppa`]),
 //! * [`mapspace`] — mapping-space exploration: per-layer auto-tuning of
 //!   VN partitions, replication, and bandwidth ([`maeri_mapspace`]),
+//! * [`verify`] — static mapping verification: proves VN-partition
+//!   legality, bandwidth feasibility, and MAC conservation without
+//!   clocking a cycle ([`maeri_verify`]),
 //! * [`runtime`] — parallel batch execution: simulation jobs, the
 //!   worker-pool scheduler, result caching ([`maeri_runtime`]),
 //! * [`sim`] — cycles, statistics, RNG, tables ([`maeri_sim`]),
@@ -63,6 +66,9 @@ pub use maeri_mapspace as mapspace;
 
 /// Batch-simulation runtime (re-export of `maeri-runtime`).
 pub use maeri_runtime as runtime;
+
+/// Static mapping verification (re-export of `maeri-verify`).
+pub use maeri_verify as verify;
 
 /// Simulation kernel (re-export of `maeri-sim`).
 pub use maeri_sim as sim;
