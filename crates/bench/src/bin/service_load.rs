@@ -1,0 +1,7 @@
+//! Service load: the batch-inference service under seeded Poisson
+//! traffic on a virtual clock (thin wrapper over
+//! `maeri_bench::reports::service_load`).
+
+fn main() {
+    maeri_bench::reports::service_load::run();
+}

@@ -19,6 +19,7 @@ pub mod figure16;
 pub mod figure17;
 pub mod headline;
 pub mod mapping_search;
+pub mod service_load;
 pub mod table1;
 pub mod table3;
 pub mod telemetry_profile;
@@ -42,6 +43,7 @@ pub const REPORTS: &[(usize, &str, fn())] = &[
     (13, "fault_sweep", fault_sweep::run),
     (14, "telemetry_profile", telemetry_profile::run),
     (15, "mapping_search", mapping_search::run),
+    (16, "service_load", service_load::run),
 ];
 
 #[cfg(test)]
@@ -50,7 +52,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(REPORTS.len(), 15);
+        assert_eq!(REPORTS.len(), 16);
         let mut names: Vec<&str> = REPORTS.iter().map(|(_, n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();

@@ -773,6 +773,23 @@ fn regenerate_mask(layer: &ConvLayer, zero_fraction: f64, seed: u64) -> WeightMa
 pub struct JobKey(Box<[u8]>);
 
 impl JobKey {
+    /// The key's canonical byte encoding. This is the identity the
+    /// persistent result store (`maeri-serve`) writes to disk, so the
+    /// encoding is append-only stable: new job kinds add tags, existing
+    /// tags never change meaning.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Rebuilds a key from its canonical byte encoding (as returned by
+    /// [`JobKey::as_bytes`]); used when replaying a persistent store
+    /// log.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        JobKey(bytes.into_boxed_slice())
+    }
+
     /// A short FNV-1a fingerprint for logs.
     #[must_use]
     pub fn fingerprint(&self) -> u64 {
@@ -888,6 +905,15 @@ mod tests {
 
     fn layer() -> ConvLayer {
         ConvLayer::new("k", 3, 8, 8, 4, 3, 3, 1, 1)
+    }
+
+    #[test]
+    fn key_bytes_round_trip() {
+        let job = SimJob::dense_conv(MaeriConfig::paper_64(), layer(), VnPolicy::Auto);
+        let key = job.key();
+        let rebuilt = JobKey::from_bytes(key.as_bytes().to_vec());
+        assert_eq!(key, rebuilt);
+        assert_eq!(key.fingerprint(), rebuilt.fingerprint());
     }
 
     #[test]

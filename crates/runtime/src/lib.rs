@@ -59,7 +59,7 @@ mod pool;
 mod runtime;
 mod supervise;
 
-pub use cache::ResultCache;
+pub use cache::{CacheStats, ResultCache};
 pub use job::{Fidelity, JobKey, SimJob};
 pub use metrics::{MetricsSnapshot, PhaseStats, RuntimeMetrics};
 pub use output::{canonical_result_text, JobError, JobResult, SimOutput, TelemetryRun};

@@ -110,6 +110,14 @@ impl Runtime {
         &self.cache
     }
 
+    /// A point-in-time copy of the cache's hit/miss counters — the
+    /// public aggregation surface for layers above the runtime (the
+    /// serve layer's hit-rate metric reads this, not the internals).
+    #[must_use]
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
+    }
+
     /// Runs one job (through the cache, but on the calling thread).
     pub fn run_one(&self, job: &SimJob) -> JobResult {
         let start = Instant::now();

@@ -1,0 +1,54 @@
+//! # maeri-serve — a batch-inference simulation service
+//!
+//! The runtime crate executes sweeps for a single caller; this crate
+//! wraps it in a long-running, multi-tenant *service*, the way a
+//! shared MAERI evaluation box would actually be operated:
+//!
+//! * a framed-socket protocol ([`wire`]) — `u32` length-prefixed JSON
+//!   frames with `submit` / `poll` / `result` / `stats` ops over the
+//!   existing [`maeri_runtime::SimJob`] vocabulary (conv, fc, lstm,
+//!   telemetry trace, mapping search, seeded random layers);
+//! * per-tenant fair scheduling and admission control ([`service`]):
+//!   round-robin across tenants, a bounded in-flight depth per tenant,
+//!   and reject-with-backpressure instead of unbounded queueing;
+//! * a `maeri-verify` pre-flight at admission: illegal mappings are
+//!   refused before they occupy a queue slot;
+//! * a crash-safe, content-addressed persistent result store
+//!   ([`store`]): an append-only log keyed by [`maeri_runtime::JobKey`]
+//!   that survives restarts, trims torn appends, and reports — never
+//!   panics on — corruption;
+//! * service metrics ([`metrics`]): admission counters, queue depth,
+//!   store/cache hit rate, and wall-latency percentiles;
+//! * a seeded Poisson traffic generator ([`traffic`]) and a
+//!   deterministic virtual-time load simulator ([`loadsim`]) that
+//!   drive the `service_load` report and the CI smoke test.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use maeri_runtime::{Runtime, SimJob};
+//! use maeri_serve::service::{ServeConfig, Service};
+//!
+//! let service = Service::start(ServeConfig::default(), Arc::new(Runtime::new(2))).unwrap();
+//! let id = service.submit("tenant0", SimJob::health_check()).unwrap();
+//! let result = service.wait(id).unwrap();
+//! assert!(result.ok);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadsim;
+pub mod metrics;
+pub mod server;
+pub mod service;
+pub mod store;
+pub mod traffic;
+pub mod wire;
+
+pub use metrics::{ServiceMetrics, ServiceSnapshot};
+pub use server::Server;
+pub use service::{JobStatus, JobTicket, ServeConfig, Service, SubmitError};
+pub use store::{RecoveryReport, ResultStore, StoreError, StoredResult};
+pub use wire::{Client, FabricSpec, JobSpec, Request};

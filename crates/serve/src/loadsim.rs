@@ -1,0 +1,220 @@
+//! Deterministic virtual-time load simulation.
+//!
+//! Wall-clock service latency depends on host speed and thread
+//! scheduling, so it can never appear in a byte-stable report. This
+//! module replays a traffic trace through the *real* admission-control
+//! policy, verifier, store, and runtime — but accounts time on a
+//! virtual clock: each job's service cost is a pure function of its
+//! simulated result (cycles simulated / a fixed drain rate), arrivals
+//! come from the trace's virtual timestamps, and an M/G/c queue of
+//! `virtual_workers` servers yields completion times. Latency
+//! percentiles, hit rates, and reject counts are then exact integers,
+//! identical on every machine and at every `MAERI_RUNTIME_WORKERS`
+//! setting.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use maeri_runtime::{JobResult, Runtime};
+use maeri_sim::histogram::Histogram;
+
+use crate::store::{ResultStore, StoredResult};
+use crate::traffic::Arrival;
+
+/// Virtual-time queueing parameters.
+#[derive(Debug, Clone)]
+pub struct LoadScenario {
+    /// Concurrent virtual servers (the simulated worker pool).
+    pub virtual_workers: usize,
+    /// Per-tenant in-flight bound; arrivals beyond it are rejected.
+    pub per_tenant_depth: usize,
+    /// Virtual cost of answering from the store or cache, in µs.
+    pub hit_cost_us: u64,
+}
+
+impl Default for LoadScenario {
+    fn default() -> Self {
+        LoadScenario {
+            virtual_workers: 4,
+            per_tenant_depth: 64,
+            hit_cost_us: 25,
+        }
+    }
+}
+
+/// What one replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadOutcome {
+    /// Arrivals replayed.
+    pub arrivals: usize,
+    /// Jobs admitted and served.
+    pub admitted: usize,
+    /// Jobs rejected by admission control.
+    pub rejected: usize,
+    /// Jobs rejected by the verifier or spec lowering.
+    pub invalid: usize,
+    /// Served jobs answered from the store or the seen-set (no fresh
+    /// simulation).
+    pub hits: usize,
+    /// Served jobs that ran a fresh simulation.
+    pub misses: usize,
+    /// Served jobs whose simulation returned a structured error.
+    pub failed: usize,
+    /// Completion latency (virtual µs) of every served job.
+    pub latency_us: Histogram,
+    /// Virtual time of the last completion.
+    pub makespan_us: u64,
+}
+
+impl LoadOutcome {
+    /// Hits over served jobs; `None` before any service.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let served = self.hits + self.misses;
+        if served == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / served as f64)
+        }
+    }
+}
+
+/// Virtual service cost of a fresh simulation: a fixed dispatch
+/// overhead plus the simulated cycles drained at 64 cycles/µs, capped
+/// so one huge layer cannot dominate every percentile.
+fn miss_cost_us(result: &JobResult) -> u64 {
+    if result.is_err() {
+        return 100;
+    }
+    let cycles = StoredResult::from_result("", result).cycles;
+    150 + (cycles / 64).min(50_000)
+}
+
+/// Replays `arrivals` against `runtime` (and optionally a persistent
+/// `store`) under the scenario's admission policy, on a virtual clock.
+///
+/// Misses execute for real through [`Runtime::run_one`] — results are
+/// exact and cached — but their *time* is virtual, so the outcome is
+/// deterministic.
+#[must_use]
+pub fn simulate(
+    arrivals: &[Arrival],
+    scenario: &LoadScenario,
+    runtime: &Runtime,
+    store: Option<&ResultStore>,
+) -> LoadOutcome {
+    let mut outcome = LoadOutcome {
+        arrivals: arrivals.len(),
+        admitted: 0,
+        rejected: 0,
+        invalid: 0,
+        hits: 0,
+        misses: 0,
+        failed: 0,
+        latency_us: Histogram::new(),
+        makespan_us: 0,
+    };
+    // Earliest-free-first pool of virtual servers.
+    let mut servers: BinaryHeap<Reverse<u64>> = (0..scenario.virtual_workers.max(1))
+        .map(|_| Reverse(0u64))
+        .collect();
+    // Per-tenant completion times of in-flight jobs (the admission
+    // gauge), and the keys already simulated in this replay.
+    let mut inflight: HashMap<String, VecDeque<u64>> = HashMap::new();
+    let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    for arrival in arrivals {
+        let now = arrival.at_us;
+        let Ok(job) = arrival.spec.to_sim_job() else {
+            outcome.invalid += 1;
+            continue;
+        };
+        if job.verify().is_err() {
+            outcome.invalid += 1;
+            continue;
+        }
+        let tenant_jobs = inflight.entry(arrival.tenant.clone()).or_default();
+        while tenant_jobs.front().is_some_and(|&done| done <= now) {
+            tenant_jobs.pop_front();
+        }
+        if tenant_jobs.len() >= scenario.per_tenant_depth {
+            outcome.rejected += 1;
+            continue;
+        }
+        let key = job.key();
+        let hit = store.is_some_and(|s| s.get(&key).is_some()) || seen.contains(key.as_bytes());
+        let cost = if hit {
+            outcome.hits += 1;
+            scenario.hit_cost_us
+        } else {
+            let result = runtime.run_one(&job);
+            if let Err(err) = &result {
+                if !err.is_transient() {
+                    outcome.failed += 1;
+                }
+            }
+            let cost = miss_cost_us(&result);
+            if let (Some(store), Ok(_)) = (store, &result) {
+                let stored = StoredResult::from_result(&job.label(), &result);
+                let _ = store.put(&key, &stored);
+            }
+            seen.insert(key.as_bytes().to_vec());
+            outcome.misses += 1;
+            cost
+        };
+        let Reverse(free_at) = servers.pop().unwrap_or(Reverse(0));
+        let start = now.max(free_at);
+        let done = start + cost;
+        servers.push(Reverse(done));
+        tenant_jobs.push_back(done);
+        outcome.admitted += 1;
+        outcome.latency_us.record(done - now);
+        outcome.makespan_us = outcome.makespan_us.max(done);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{self, TrafficConfig};
+
+    #[test]
+    fn replay_is_deterministic() {
+        let traffic = traffic::generate(&TrafficConfig {
+            seed: 3,
+            arrivals: 40,
+            tenants: 2,
+            mean_interarrival_us: 200,
+            random_fraction: 0.5,
+        });
+        let scenario = LoadScenario::default();
+        let a = simulate(&traffic, &scenario, &Runtime::new(1), None);
+        let b = simulate(&traffic, &scenario, &Runtime::new(1), None);
+        assert_eq!(a, b, "fresh runtimes must replay identically");
+        assert_eq!(a.arrivals, 40);
+        assert_eq!(a.admitted + a.rejected + a.invalid, 40);
+        assert!(a.hits > 0, "repeats within 40 arrivals should hit");
+    }
+
+    #[test]
+    fn tight_scenario_rejects_with_backpressure() {
+        let traffic = traffic::generate(&TrafficConfig {
+            seed: 9,
+            arrivals: 60,
+            tenants: 1,
+            mean_interarrival_us: 10,
+            random_fraction: 1.0,
+        });
+        let scenario = LoadScenario {
+            virtual_workers: 1,
+            per_tenant_depth: 3,
+            hit_cost_us: 25,
+        };
+        let outcome = simulate(&traffic, &scenario, &Runtime::new(1), None);
+        assert!(
+            outcome.rejected > 0,
+            "a single slow server at depth 3 must shed load"
+        );
+        assert_eq!(outcome.admitted + outcome.rejected, 60);
+    }
+}

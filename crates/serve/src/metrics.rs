@@ -1,0 +1,208 @@
+//! Service-level metrics: admission counters, queue depth, store hit
+//! rate, and wall-clock completion latency percentiles.
+//!
+//! These sit one layer above [`maeri_runtime::RuntimeMetrics`]: the
+//! runtime counts what *executed*, this module counts what was
+//! *requested* — including jobs that never reached the runtime because
+//! admission control rejected them or the persistent store answered.
+//!
+//! Wall-clock latencies are real time and therefore nondeterministic;
+//! they are exposed only through the live `stats` endpoint, never in
+//! byte-stable reports (the `service_load` report uses the virtual-time
+//! [`crate::loadsim`] instead).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use maeri_runtime::CacheStats;
+use maeri_sim::histogram::Histogram;
+use maeri_telemetry::json::JsonValue;
+
+/// Shared atomic counters for one service instance.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Submit requests received (including rejected ones).
+    pub submitted: AtomicU64,
+    /// Jobs accepted into the queue or answered from the store.
+    pub admitted: AtomicU64,
+    /// Jobs rejected because the tenant's queue was full.
+    pub rejected_backpressure: AtomicU64,
+    /// Jobs rejected by the `maeri-verify` pre-flight at admission.
+    pub rejected_invalid: AtomicU64,
+    /// Jobs answered directly from the persistent store at admission.
+    pub store_hits: AtomicU64,
+    /// Jobs that ran to a successful result.
+    pub completed: AtomicU64,
+    /// Jobs that ran to a structured error.
+    pub failed: AtomicU64,
+    /// Persistent-store writes that failed (result still served).
+    pub store_put_errors: AtomicU64,
+    /// Jobs currently queued or running.
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub queue_high_water: AtomicU64,
+    latency_us: Mutex<Histogram>,
+}
+
+impl ServiceMetrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// Notes a job entering the queue.
+    pub fn job_queued(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Notes a queued job finishing (successfully or not).
+    pub fn job_finished(&self, latency_us: u64) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        self.latency_us
+            .lock()
+            .expect("latency mutex poisoned")
+            .record(latency_us);
+    }
+
+    /// A point-in-time snapshot, folding in the runtime's cache
+    /// counters and the store size.
+    #[must_use]
+    pub fn snapshot(&self, cache: CacheStats, store_entries: usize) -> ServiceSnapshot {
+        let mut latency = self
+            .latency_us
+            .lock()
+            .expect("latency mutex poisoned")
+            .clone();
+        let mut pct = |p: f64| latency.percentile(p).unwrap_or(0);
+        ServiceSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected_backpressure: self.rejected_backpressure.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            store_put_errors: self.store_put_errors.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            latency_p50_us: pct(50.0),
+            latency_p99_us: pct(99.0),
+            latency_p999_us: pct(99.9),
+            cache,
+            store_entries,
+        }
+    }
+}
+
+/// A point-in-time copy of every service counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSnapshot {
+    /// Submit requests received.
+    pub submitted: u64,
+    /// Jobs admitted (queued or store-answered).
+    pub admitted: u64,
+    /// Backpressure rejections.
+    pub rejected_backpressure: u64,
+    /// Verifier rejections.
+    pub rejected_invalid: u64,
+    /// Store answers at admission.
+    pub store_hits: u64,
+    /// Successful completions.
+    pub completed: u64,
+    /// Failed completions.
+    pub failed: u64,
+    /// Failed store appends.
+    pub store_put_errors: u64,
+    /// Jobs queued or running right now.
+    pub queue_depth: u64,
+    /// Queue-depth high-water mark.
+    pub queue_high_water: u64,
+    /// Median completion latency (wall µs, queued jobs only).
+    pub latency_p50_us: u64,
+    /// 99th-percentile completion latency (wall µs).
+    pub latency_p99_us: u64,
+    /// 99.9th-percentile completion latency (wall µs).
+    pub latency_p999_us: u64,
+    /// The runtime result cache's counters.
+    pub cache: CacheStats,
+    /// Results currently in the persistent store.
+    pub store_entries: usize,
+}
+
+impl ServiceSnapshot {
+    /// Fraction of submits answered without simulating: persistent-store
+    /// hits plus runtime-cache hits, over submits. `None` before any
+    /// submit.
+    #[must_use]
+    pub fn service_hit_rate(&self) -> Option<f64> {
+        if self.submitted == 0 {
+            return None;
+        }
+        let hits = self.store_hits + self.cache.hits;
+        Some(hits as f64 / self.submitted as f64)
+    }
+
+    /// The snapshot as a JSON object (the `stats` wire response).
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("submitted", JsonValue::UInt(self.submitted))
+            .with("admitted", JsonValue::UInt(self.admitted))
+            .with(
+                "rejected_backpressure",
+                JsonValue::UInt(self.rejected_backpressure),
+            )
+            .with("rejected_invalid", JsonValue::UInt(self.rejected_invalid))
+            .with("store_hits", JsonValue::UInt(self.store_hits))
+            .with("completed", JsonValue::UInt(self.completed))
+            .with("failed", JsonValue::UInt(self.failed))
+            .with("store_put_errors", JsonValue::UInt(self.store_put_errors))
+            .with("queue_depth", JsonValue::UInt(self.queue_depth))
+            .with("queue_high_water", JsonValue::UInt(self.queue_high_water))
+            .with("latency_p50_us", JsonValue::UInt(self.latency_p50_us))
+            .with("latency_p99_us", JsonValue::UInt(self.latency_p99_us))
+            .with("latency_p999_us", JsonValue::UInt(self.latency_p999_us))
+            .with("cache_hits", JsonValue::UInt(self.cache.hits))
+            .with("cache_misses", JsonValue::UInt(self.cache.misses))
+            .with("cache_entries", JsonValue::UInt(self.cache.entries as u64))
+            .with("store_entries", JsonValue::UInt(self.store_entries as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_depth_tracks_high_water() {
+        let m = ServiceMetrics::new();
+        m.job_queued();
+        m.job_queued();
+        m.job_queued();
+        m.job_finished(10);
+        m.job_finished(20);
+        let snap = m.snapshot(CacheStats::default(), 0);
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.queue_high_water, 3);
+        assert_eq!(snap.latency_p50_us, 10);
+        assert_eq!(snap.latency_p99_us, 20);
+    }
+
+    #[test]
+    fn hit_rate_counts_store_and_cache() {
+        let m = ServiceMetrics::new();
+        m.submitted.store(10, Ordering::Relaxed);
+        m.store_hits.store(4, Ordering::Relaxed);
+        let cache = CacheStats {
+            hits: 1,
+            misses: 5,
+            entries: 5,
+        };
+        let snap = m.snapshot(cache, 4);
+        assert!((snap.service_hit_rate().unwrap() - 0.5).abs() < 1e-12);
+        let rendered = snap.to_json().render();
+        assert!(rendered.contains("\"store_hits\":4"));
+    }
+}

@@ -1,0 +1,155 @@
+//! The TCP front-end: accepts framed-protocol connections and routes
+//! requests into a shared [`Service`].
+//!
+//! One thread accepts; each connection gets its own handler thread
+//! (connections are long-lived and few — this is a simulation service,
+//! not a web server). [`Server::stop`] unblocks the accept loop with a
+//! self-connection, so shutdown needs no non-blocking I/O.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use maeri_telemetry::json::JsonValue;
+
+use crate::service::{Service, SubmitError};
+use crate::wire::{read_frame, write_frame, Request};
+
+/// A running TCP front-end.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `service`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(service: Arc<Service>, addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("maeri-serve-accept".to_owned())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let conn_service = Arc::clone(&service);
+                    let spawned = std::thread::Builder::new()
+                        .name("maeri-serve-conn".to_owned())
+                        .spawn(move || handle_connection(stream, &conn_service));
+                    drop(spawned);
+                }
+            })?;
+        Ok(Server {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept thread.
+    /// Existing connections finish their in-flight request and close
+    /// when the client disconnects.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        // Unblock the accept loop.
+        drop(TcpStream::connect(self.addr));
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, service: &Service) {
+    loop {
+        let doc = match read_frame(&mut stream) {
+            Ok(Some(doc)) => doc,
+            Err(err) if err.kind() == std::io::ErrorKind::InvalidData => {
+                let reply = error_response("bad_request", &err.to_string());
+                let _ = write_frame(&mut stream, &reply);
+                return; // framing is lost; drop the connection
+            }
+            // Clean close or hard I/O error: either way the
+            // conversation is over.
+            Ok(None) | Err(_) => return,
+        };
+        let response = match Request::from_json(&doc) {
+            Ok(request) => dispatch(&request, service),
+            Err(message) => error_response("bad_request", &message),
+        };
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn dispatch(request: &Request, service: &Service) -> JsonValue {
+    match request {
+        Request::Submit { tenant, spec } => match spec.to_sim_job() {
+            Err(message) => error_response("bad_request", &message),
+            Ok(job) => match service.submit(tenant, job) {
+                Ok(id) => JsonValue::object()
+                    .with("ok", JsonValue::Bool(true))
+                    .with("id", JsonValue::UInt(id)),
+                Err(err @ SubmitError::Backpressure { .. }) => {
+                    error_response("backpressure", &err.to_string())
+                }
+                Err(err @ SubmitError::InvalidMapping(_)) => {
+                    error_response("invalid_mapping", &err.to_string())
+                }
+                Err(err @ SubmitError::Closed) => error_response("closed", &err.to_string()),
+            },
+        },
+        Request::Poll { id } => match service.status(*id) {
+            Some(ticket) => JsonValue::object()
+                .with("ok", JsonValue::Bool(true))
+                .with("id", JsonValue::UInt(*id))
+                .with("status", JsonValue::Str(ticket.status.as_str().to_owned()))
+                .with("label", JsonValue::Str(ticket.label)),
+            None => error_response("unknown_id", &format!("no job with id {id}")),
+        },
+        Request::Fetch { id } => match service.status(*id) {
+            None => error_response("unknown_id", &format!("no job with id {id}")),
+            Some(ticket) => match ticket.result {
+                Some(result) => JsonValue::object()
+                    .with("ok", JsonValue::Bool(true))
+                    .with("id", JsonValue::UInt(*id))
+                    .with("result", result.to_json()),
+                None => error_response("pending", &format!("job {id} has not finished")),
+            },
+        },
+        Request::Stats => JsonValue::object()
+            .with("ok", JsonValue::Bool(true))
+            .with("stats", service.stats().to_json()),
+    }
+}
+
+fn error_response(code: &str, message: &str) -> JsonValue {
+    JsonValue::object()
+        .with("ok", JsonValue::Bool(false))
+        .with("error", JsonValue::Str(code.to_owned()))
+        .with("message", JsonValue::Str(message.to_owned()))
+}

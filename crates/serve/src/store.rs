@@ -1,0 +1,459 @@
+//! Crash-safe persistent result store: an append-only on-disk log with
+//! an in-memory index, keyed by the runtime's content-hash [`JobKey`].
+//!
+//! The log survives process restarts: reopening replays every complete
+//! entry into the index, so a warm-restarted service answers repeated
+//! requests without re-simulating. The format is deliberately boring —
+//! framed records with a checksum, no compaction, no mmap:
+//!
+//! ```text
+//! entry := magic:u32le  key_len:u32le  payload_len:u32le
+//!          key bytes    payload bytes (canonical JSON)
+//!          checksum:u64le   (FNV-1a over key bytes ++ payload bytes)
+//! ```
+//!
+//! Recovery policy, exercised by `tests/store_recovery.rs`:
+//!
+//! * a **truncated tail** (the process died mid-append) is detected,
+//!   reported, and trimmed so the next append lands on a clean frame;
+//! * a **corrupted entry** (bad magic, implausible length, checksum
+//!   mismatch, unparseable payload) is a structured
+//!   [`StoreError::Corrupt`] — never a panic, never silent data reuse.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use maeri_runtime::{JobKey, JobResult, SimOutput};
+use maeri_telemetry::json::{self, JsonValue};
+
+/// Magic word opening every log entry (`"MAER"` little-endian).
+const MAGIC: u32 = 0x5245_414D;
+
+/// Upper bound on key/payload sizes; a length field above this is
+/// treated as corruption rather than an allocation request.
+const MAX_FIELD_LEN: u32 = 16 * 1024 * 1024;
+
+/// A store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An I/O error, with the operation that failed.
+    Io {
+        /// What the store was doing when the error hit.
+        context: String,
+    },
+    /// A complete-looking log entry failed validation. Distinct from a
+    /// truncated tail, which is recovered from silently (minus a note
+    /// in the [`RecoveryReport`]).
+    Corrupt {
+        /// Byte offset of the offending entry.
+        offset: u64,
+        /// What failed to validate.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { context } => write!(f, "store i/o error: {context}"),
+            StoreError::Corrupt { offset, reason } => {
+                write!(f, "store log corrupt at byte {offset}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+        StoreError::Io {
+            context: format!("{}: {err}", context.into()),
+        }
+    }
+}
+
+/// What [`ResultStore::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Complete entries replayed into the index.
+    pub entries: usize,
+    /// Bytes of truncated tail trimmed from the log (a crash landed
+    /// mid-append); zero on a clean shutdown.
+    pub truncated_bytes: u64,
+}
+
+/// One stored job outcome — the durable, wire-friendly projection of a
+/// [`JobResult`]. `detail` carries the canonical text encoding, which
+/// is the repo-wide equality witness for outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredResult {
+    /// Whether the job succeeded.
+    pub ok: bool,
+    /// Output kind: `run`, `analytic`, `trace`, `telemetry`, `search`,
+    /// or `error`.
+    pub kind: String,
+    /// The job's display label.
+    pub label: String,
+    /// Headline cycle count (zero for errors and cycle-free outputs).
+    pub cycles: u64,
+    /// Canonical text of the output (or the structured error text).
+    pub detail: String,
+}
+
+impl StoredResult {
+    /// Projects a runtime result into its durable form.
+    #[must_use]
+    pub fn from_result(label: &str, result: &JobResult) -> Self {
+        match result {
+            Ok(output) => StoredResult {
+                ok: true,
+                kind: output_kind(output).to_owned(),
+                label: label.to_owned(),
+                cycles: output_cycles(output),
+                detail: output.canonical_text(),
+            },
+            Err(err) => StoredResult {
+                ok: false,
+                kind: "error".to_owned(),
+                label: label.to_owned(),
+                cycles: 0,
+                detail: err.canonical_text(),
+            },
+        }
+    }
+
+    /// The JSON object written to the log and returned over the wire.
+    #[must_use]
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("ok", JsonValue::Bool(self.ok))
+            .with("kind", JsonValue::Str(self.kind.clone()))
+            .with("label", JsonValue::Str(self.label.clone()))
+            .with("cycles", JsonValue::UInt(self.cycles))
+            .with("detail", JsonValue::Str(self.detail.clone()))
+    }
+
+    /// Parses the JSON form back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a field is missing or mistyped.
+    pub fn from_json(value: &JsonValue) -> Result<Self, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| format!("stored result missing field `{name}`"))
+        };
+        Ok(StoredResult {
+            ok: field("ok")?
+                .as_bool()
+                .ok_or("stored result field `ok` is not a bool")?,
+            kind: field("kind")?
+                .as_str()
+                .ok_or("stored result field `kind` is not a string")?
+                .to_owned(),
+            label: field("label")?
+                .as_str()
+                .ok_or("stored result field `label` is not a string")?
+                .to_owned(),
+            cycles: field("cycles")?
+                .as_u64()
+                .ok_or("stored result field `cycles` is not an integer")?,
+            detail: field("detail")?
+                .as_str()
+                .ok_or("stored result field `detail` is not a string")?
+                .to_owned(),
+        })
+    }
+}
+
+/// The headline kind tag for a stored output.
+fn output_kind(output: &SimOutput) -> &'static str {
+    match output {
+        SimOutput::Run(_) => "run",
+        SimOutput::Analytic(_) => "analytic",
+        SimOutput::Trace(_) => "trace",
+        SimOutput::Telemetry(_) => "telemetry",
+        SimOutput::Search(_) => "search",
+    }
+}
+
+/// The headline cycle count for a stored output.
+fn output_cycles(output: &SimOutput) -> u64 {
+    match output {
+        SimOutput::Run(stats) => stats.cycles.as_u64(),
+        SimOutput::Analytic(result) => result.cycles,
+        SimOutput::Trace(trace) => trace.cycles.as_u64(),
+        SimOutput::Telemetry(run) => run.trace.cycles.as_u64(),
+        SimOutput::Search(search) => search.best_cycles(),
+    }
+}
+
+struct StoreInner {
+    file: File,
+    index: HashMap<Vec<u8>, StoredResult>,
+}
+
+/// The content-addressed persistent result store.
+///
+/// Thread-safe: `put`/`get` take an internal lock, so one store can be
+/// shared by every service worker.
+pub struct ResultStore {
+    path: PathBuf,
+    inner: Mutex<StoreInner>,
+}
+
+#[allow(clippy::missing_fields_in_debug)] // `inner` is a lock + raw file handle
+impl std::fmt::Debug for ResultStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultStore")
+            .field("path", &self.path)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+impl ResultStore {
+    /// Opens (or creates) the log at `path`, replaying complete
+    /// entries into the index and trimming any truncated tail.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures; [`StoreError::Corrupt`]
+    /// when a complete entry fails its checksum or does not parse.
+    pub fn open(path: &Path) -> Result<(Self, RecoveryReport), StoreError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| StoreError::io(format!("create {}", parent.display()), &e))?;
+            }
+        }
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)
+                    .map_err(|e| StoreError::io(format!("read {}", path.display()), &e))?;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(StoreError::io(format!("open {}", path.display()), &e)),
+        }
+        let (index, valid_len, entries) = replay(&bytes)?;
+        let truncated = bytes.len() as u64 - valid_len;
+        // Append mode: every write lands at end-of-file, so the log
+        // can never overwrite a replayed entry.
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| StoreError::io(format!("open {} for append", path.display()), &e))?;
+        if truncated > 0 {
+            file.set_len(valid_len)
+                .map_err(|e| StoreError::io("trim truncated tail", &e))?;
+        }
+        let store = ResultStore {
+            path: path.to_owned(),
+            inner: Mutex::new(StoreInner { file, index }),
+        };
+        Ok((
+            store,
+            RecoveryReport {
+                entries,
+                truncated_bytes: truncated,
+            },
+        ))
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Looks up a result by job key.
+    #[must_use]
+    pub fn get(&self, key: &JobKey) -> Option<StoredResult> {
+        let inner = self.inner.lock().expect("store mutex poisoned");
+        inner.index.get(key.as_bytes()).cloned()
+    }
+
+    /// Appends `result` under `key`, unless the key is already stored
+    /// (the log is content-addressed, so the first write wins). Returns
+    /// whether a new entry was written.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the append fails; the index is only
+    /// updated after the entry is durably written and flushed.
+    pub fn put(&self, key: &JobKey, result: &StoredResult) -> Result<bool, StoreError> {
+        let mut inner = self.inner.lock().expect("store mutex poisoned");
+        if inner.index.contains_key(key.as_bytes()) {
+            return Ok(false);
+        }
+        let entry = encode_entry(key.as_bytes(), result);
+        inner
+            .file
+            .write_all(&entry)
+            .and_then(|()| inner.file.flush())
+            .map_err(|e| StoreError::io("append entry", &e))?;
+        inner.index.insert(key.as_bytes().to_vec(), result.clone());
+        Ok(true)
+    }
+
+    /// Number of stored results.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store mutex poisoned").index.len()
+    }
+
+    /// Whether the store holds no results.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Serializes one log entry.
+fn encode_entry(key: &[u8], result: &StoredResult) -> Vec<u8> {
+    let payload = result.to_json().render().into_bytes();
+    let mut out = Vec::with_capacity(20 + key.len() + payload.len());
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&u32::try_from(key.len()).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(
+        &u32::try_from(payload.len())
+            .unwrap_or(u32::MAX)
+            .to_le_bytes(),
+    );
+    out.extend_from_slice(key);
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum(key, &payload).to_le_bytes());
+    out
+}
+
+/// FNV-1a over the key and payload bytes.
+fn checksum(key: &[u8], payload: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in key.iter().chain(payload) {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Replays the log bytes: returns the rebuilt index, the byte length
+/// of the valid prefix, and the entry count. A tail that ends
+/// mid-entry is treated as a crashed append and excluded from the
+/// valid prefix; a *complete* entry that fails validation is an error.
+#[allow(clippy::type_complexity)]
+fn replay(bytes: &[u8]) -> Result<(HashMap<Vec<u8>, StoredResult>, u64, usize), StoreError> {
+    let mut index = HashMap::new();
+    let mut offset = 0usize;
+    let mut entries = 0usize;
+    while offset < bytes.len() {
+        let rest = &bytes[offset..];
+        if rest.len() < 12 {
+            break; // truncated header
+        }
+        let magic = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        if magic != MAGIC {
+            return Err(StoreError::Corrupt {
+                offset: offset as u64,
+                reason: format!("bad magic {magic:#010x}"),
+            });
+        }
+        let key_len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        let payload_len = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
+        if key_len == 0 || key_len > MAX_FIELD_LEN || payload_len > MAX_FIELD_LEN {
+            return Err(StoreError::Corrupt {
+                offset: offset as u64,
+                reason: format!("implausible entry lengths key={key_len} payload={payload_len}"),
+            });
+        }
+        let body_len = 12 + key_len as usize + payload_len as usize + 8;
+        if rest.len() < body_len {
+            break; // truncated body
+        }
+        let key = &rest[12..12 + key_len as usize];
+        let payload = &rest[12 + key_len as usize..12 + key_len as usize + payload_len as usize];
+        let stored_sum =
+            u64::from_le_bytes(rest[body_len - 8..body_len].try_into().unwrap_or([0u8; 8]));
+        if stored_sum != checksum(key, payload) {
+            return Err(StoreError::Corrupt {
+                offset: offset as u64,
+                reason: "checksum mismatch".to_owned(),
+            });
+        }
+        let text = std::str::from_utf8(payload).map_err(|_| StoreError::Corrupt {
+            offset: offset as u64,
+            reason: "payload is not UTF-8".to_owned(),
+        })?;
+        let doc = json::parse(text).map_err(|e| StoreError::Corrupt {
+            offset: offset as u64,
+            reason: format!("payload is not JSON: {e}"),
+        })?;
+        let result = StoredResult::from_json(&doc).map_err(|e| StoreError::Corrupt {
+            offset: offset as u64,
+            reason: e,
+        })?;
+        index.insert(key.to_vec(), result);
+        entries += 1;
+        offset += body_len;
+    }
+    Ok((index, offset as u64, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maeri_runtime::JobError;
+
+    fn sample(label: &str) -> StoredResult {
+        StoredResult {
+            ok: true,
+            kind: "run".to_owned(),
+            label: label.to_owned(),
+            cycles: 1234,
+            detail: format!("run label={label} cycles=1234"),
+        }
+    }
+
+    fn temp_log(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("maeri-store-unit-{}-{tag}.log", std::process::id()))
+    }
+
+    #[test]
+    fn put_get_round_trip_and_idempotence() {
+        let path = temp_log("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let (store, report) = ResultStore::open(&path).unwrap();
+        assert_eq!(report, RecoveryReport::default());
+        let key = JobKey::from_bytes(vec![1, 2, 3]);
+        assert!(store.get(&key).is_none());
+        assert!(store.put(&key, &sample("a")).unwrap());
+        assert!(!store.put(&key, &sample("b")).unwrap(), "first write wins");
+        assert_eq!(store.get(&key).unwrap().label, "a");
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stored_result_json_round_trip() {
+        let original = StoredResult::from_result(
+            "probe",
+            &Err(JobError::Sim("too big \"quoted\"".to_owned())),
+        );
+        let parsed = StoredResult::from_json(&original.to_json()).unwrap();
+        assert_eq!(parsed, original);
+        assert!(!parsed.ok);
+        assert_eq!(parsed.kind, "error");
+    }
+
+    #[test]
+    fn replay_rejects_bad_magic() {
+        let err = replay(&[0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { offset: 0, .. }));
+    }
+}

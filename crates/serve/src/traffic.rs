@@ -1,0 +1,171 @@
+//! Seeded synthetic traffic: Poisson arrivals over the model zoo plus
+//! random layers.
+//!
+//! The generator is a pure function of its config — the same seed
+//! always yields the same arrival times, tenants, and job specs — so
+//! the `service_load` report and the CI smoke test are reproducible.
+//! Inter-arrival gaps are exponential (`-ln(1-u) * mean`), the classic
+//! Poisson-process construction; job bodies are drawn from a fixed
+//! pool of zoo layers (AlexNet convs and FCs, a DeepSpeech2 LSTM, the
+//! Figure 17 example as a telemetry trace) or, with probability
+//! `random_fraction`, from [`maeri_dnn::Layer::random`] seeds in a
+//! small range so repeats occur naturally.
+
+use maeri_dnn::{zoo, Layer};
+use maeri_sim::SimRng;
+
+use crate::wire::{FabricSpec, JobSpec};
+
+/// Traffic-shape knobs.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// RNG seed; everything derives from it.
+    pub seed: u64,
+    /// Number of arrivals to generate.
+    pub arrivals: usize,
+    /// Tenants, assigned round-robin (`t0`, `t1`, ...).
+    pub tenants: usize,
+    /// Mean inter-arrival gap in virtual microseconds.
+    pub mean_interarrival_us: u64,
+    /// Probability in `[0, 1]` that an arrival is a random layer
+    /// instead of a zoo layer.
+    pub random_fraction: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 0x4d41_4552,
+            arrivals: 100,
+            tenants: 4,
+            mean_interarrival_us: 300,
+            random_fraction: 0.25,
+        }
+    }
+}
+
+/// One generated request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Virtual arrival time in microseconds from epoch.
+    pub at_us: u64,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The job to submit.
+    pub spec: JobSpec,
+}
+
+/// The fixed pool of zoo-derived job specs the generator draws from.
+/// Small enough that a few hundred arrivals repeat every entry —
+/// which is the point: repeats are what exercise the caches.
+#[must_use]
+pub fn zoo_pool() -> Vec<JobSpec> {
+    let fabric = FabricSpec::default();
+    let mut pool = Vec::new();
+    for layer in zoo::alexnet().layers() {
+        match layer {
+            Layer::Conv(conv) => pool.push(JobSpec::Conv {
+                layer: conv.clone(),
+                fabric,
+            }),
+            Layer::Fc(fc) => pool.push(JobSpec::Fc {
+                layer: fc.clone(),
+                fabric,
+            }),
+            _ => {}
+        }
+    }
+    if let Some(Layer::Lstm(lstm)) = zoo::deepspeech2().layer("ds2_rnn2") {
+        pool.push(JobSpec::Lstm {
+            layer: lstm.clone(),
+            fabric,
+        });
+    }
+    // One cycle-trace job: the paper's small worked example keeps the
+    // clocked simulation cheap enough for traffic duty.
+    pool.push(JobSpec::TelemetryConv {
+        layer: zoo::fig17_example(),
+        fabric,
+    });
+    pool
+}
+
+/// Generates the arrival sequence for `config`. Pure and
+/// deterministic: identical configs yield identical traffic.
+#[must_use]
+pub fn generate(config: &TrafficConfig) -> Vec<Arrival> {
+    let pool = zoo_pool();
+    let mut rng = SimRng::seed(config.seed);
+    let mut clock_us = 0u64;
+    let mut arrivals = Vec::with_capacity(config.arrivals);
+    for index in 0..config.arrivals {
+        // Exponential inter-arrival gap, clamped away from zero so
+        // virtual timestamps strictly increase.
+        let u = rng.next_unit_f64();
+        let gap = (-(1.0 - u).ln() * config.mean_interarrival_us as f64).ceil();
+        clock_us += (gap as u64).max(1);
+        let spec = if rng.next_bool(config.random_fraction) {
+            JobSpec::Random {
+                // A small seed range makes random-layer repeats likely
+                // across a few hundred arrivals.
+                seed: rng.next_below(64) as u64,
+                fabric: FabricSpec::default(),
+            }
+        } else {
+            pool[rng.next_below(pool.len())].clone()
+        };
+        arrivals.push(Arrival {
+            at_us: clock_us,
+            tenant: format!("t{}", index % config.tenants.max(1)),
+            spec,
+        });
+    }
+    arrivals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_is_deterministic_and_well_formed() {
+        let config = TrafficConfig {
+            seed: 7,
+            arrivals: 200,
+            tenants: 3,
+            mean_interarrival_us: 100,
+            random_fraction: 0.3,
+        };
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a, b, "same seed must yield identical traffic");
+        assert_eq!(a.len(), 200);
+        let mut last = 0;
+        for (i, arrival) in a.iter().enumerate() {
+            assert!(arrival.at_us > last, "timestamps strictly increase");
+            last = arrival.at_us;
+            assert_eq!(arrival.tenant, format!("t{}", i % 3));
+            arrival
+                .spec
+                .to_sim_job()
+                .expect("generated specs are valid");
+        }
+        let randoms = a
+            .iter()
+            .filter(|arr| matches!(arr.spec, JobSpec::Random { .. }))
+            .count();
+        assert!(randoms > 20, "~30% of 200 arrivals should be random");
+        assert!(randoms < 120, "random draw should respect the fraction");
+    }
+
+    #[test]
+    fn zoo_pool_spans_the_job_vocabulary() {
+        let pool = zoo_pool();
+        assert!(pool.iter().any(|s| matches!(s, JobSpec::Conv { .. })));
+        assert!(pool.iter().any(|s| matches!(s, JobSpec::Fc { .. })));
+        assert!(pool.iter().any(|s| matches!(s, JobSpec::Lstm { .. })));
+        assert!(pool
+            .iter()
+            .any(|s| matches!(s, JobSpec::TelemetryConv { .. })));
+    }
+}

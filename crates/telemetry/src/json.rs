@@ -1,11 +1,13 @@
-//! Minimal JSON emission and validation.
+//! Minimal JSON emission, parsing, and validation.
 //!
 //! The build environment has no crates.io access, so there is no
-//! `serde_json`; this module provides the two pieces telemetry export
-//! actually needs: a deterministic writer ([`JsonValue`]) whose object
-//! keys stay in insertion order, and a strict recursive-descent
-//! [`validate`] parser used by tests and the CI smoke to prove that
-//! emitted traces are well-formed JSON.
+//! `serde_json`; this module provides the pieces telemetry export and
+//! the service wire protocol actually need: a deterministic writer
+//! ([`JsonValue`]) whose object keys stay in insertion order, a strict
+//! recursive-descent [`parse`] that builds a [`JsonValue`] back from
+//! text (used by `maeri-serve` to decode protocol frames), and
+//! [`validate`], used by tests and the CI smoke to prove that emitted
+//! traces are well-formed JSON.
 
 /// A JSON document fragment. Objects preserve insertion order so that
 /// rendered output is deterministic.
@@ -56,6 +58,66 @@ impl JsonValue {
         let mut out = String::new();
         self.render_into(&mut out);
         out
+    }
+
+    /// Looks up a field of an object by key (first match; emitted
+    /// documents never repeat keys). Returns `None` for non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one (or a signed /
+    /// float value that is a non-negative whole number).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            JsonValue::Int(n) => u64::try_from(*n).ok(),
+            JsonValue::Num(f) if f.is_finite() && *f >= 0.0 && f.fract() == 0.0 => Some(*f as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is numeric.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n as f64),
+            JsonValue::Int(n) => Some(*n as f64),
+            JsonValue::Num(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn render_into(&self, out: &mut String) {
@@ -131,18 +193,32 @@ fn escape_into(s: &str, out: &mut String) {
 ///
 /// Returns a description (with byte offset) of the first syntax error.
 pub fn validate(text: &str) -> Result<(), String> {
+    parse(text).map(|_| ())
+}
+
+/// Parses one well-formed JSON document into a [`JsonValue`].
+///
+/// Numbers without a fraction or exponent become [`JsonValue::UInt`] /
+/// [`JsonValue::Int`]; everything else numeric becomes
+/// [`JsonValue::Num`]. Object keys keep document order (duplicates are
+/// preserved; [`JsonValue::get`] returns the first).
+///
+/// # Errors
+///
+/// Returns a description (with byte offset) of the first syntax error.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
     let mut p = Parser {
         bytes: text.as_bytes(),
         pos: 0,
         depth: 0,
     };
     p.skip_ws();
-    p.value()?;
+    let value = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(format!("trailing data at byte {}", p.pos));
     }
-    Ok(())
+    Ok(value)
 }
 
 const MAX_DEPTH: usize = 128;
@@ -178,7 +254,7 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<JsonValue, String> {
         if self.depth >= MAX_DEPTH {
             return Err(format!(
                 "nesting deeper than {MAX_DEPTH} at byte {}",
@@ -188,10 +264,10 @@ impl Parser<'_> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b't') => self.literal("true").map(|()| JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false").map(|()| JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null").map(|()| JsonValue::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
             other => Err(format!(
                 "expected a JSON value at byte {}, found {:?}",
@@ -210,29 +286,31 @@ impl Parser<'_> {
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<JsonValue, String> {
         self.expect(b'{')?;
         self.depth += 1;
         self.skip_ws();
+        let mut fields: Vec<(String, JsonValue)> = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
             self.depth -= 1;
-            return Ok(());
+            return Ok(JsonValue::Object(fields));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value()?;
+            let value = self.value()?;
+            fields.push((key, value));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
                     self.depth -= 1;
-                    return Ok(());
+                    return Ok(JsonValue::Object(fields));
                 }
                 other => {
                     return Err(format!(
@@ -245,25 +323,26 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<JsonValue, String> {
         self.expect(b'[')?;
         self.depth += 1;
         self.skip_ws();
+        let mut items: Vec<JsonValue> = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
             self.depth -= 1;
-            return Ok(());
+            return Ok(JsonValue::Array(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
                     self.depth -= 1;
-                    return Ok(());
+                    return Ok(JsonValue::Array(items));
                 }
                 other => {
                     return Err(format!(
@@ -276,61 +355,125 @@ impl Parser<'_> {
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let mut out = String::new();
         while let Some(byte) = self.peek() {
             match byte {
                 b'"' => {
                     self.pos += 1;
-                    return Ok(());
+                    return Ok(out);
                 }
                 b'\\' => {
                     self.pos += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        Some(b'"') => {
+                            out.push('"');
+                            self.pos += 1;
+                        }
+                        Some(b'\\') => {
+                            out.push('\\');
+                            self.pos += 1;
+                        }
+                        Some(b'/') => {
+                            out.push('/');
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push('\u{0008}');
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push('\u{000c}');
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push('\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push('\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push('\t');
                             self.pos += 1;
                         }
                         Some(b'u') => {
                             self.pos += 1;
+                            let mut code: u32 = 0;
                             for _ in 0..4 {
                                 match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    Some(c) if c.is_ascii_hexdigit() => {
+                                        code = code * 16 + (c as char).to_digit(16).unwrap_or(0);
+                                        self.pos += 1;
+                                    }
                                     _ => {
                                         return Err(format!("bad \\u escape at byte {}", self.pos))
                                     }
                                 }
                             }
+                            // Surrogates (paired or lone) are not
+                            // emitted by the writer; decode them as the
+                            // replacement character rather than failing.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
                     }
                 }
                 0x00..=0x1f => return Err(format!("raw control character at byte {}", self.pos)),
-                _ => self.pos += 1,
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(rest).map_err(|_| "invalid UTF-8".to_owned())?;
+                    let ch = text.chars().next().ok_or("unterminated string")?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
             }
         }
         Err("unterminated string".to_owned())
     }
 
-    fn number(&mut self) -> Result<(), String> {
-        if self.peek() == Some(b'-') {
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
             self.pos += 1;
         }
         let digits = self.digits()?;
         if digits > 1 && self.bytes[self.pos - digits] == b'0' {
             return Err(format!("leading zero at byte {}", self.pos - digits));
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             self.digits()?;
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
             self.digits()?;
         }
-        Ok(())
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid UTF-8 in number".to_owned())?;
+        if integral {
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(JsonValue::Int(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("malformed number at byte {start}: {e}"))
     }
 
     fn digits(&mut self) -> Result<usize, String> {
@@ -424,5 +567,61 @@ mod tests {
     #[should_panic(expected = "non-object")]
     fn with_on_non_object_panics() {
         let _ = JsonValue::Null.with("a", JsonValue::Null);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let doc = JsonValue::object()
+            .with("name", JsonValue::Str("vn \"0\"\n".to_owned()))
+            .with("cycles", JsonValue::UInt(143))
+            .with("delta", JsonValue::Int(-2))
+            .with("busy", JsonValue::Num(0.75))
+            .with("ok", JsonValue::Bool(true))
+            .with("none", JsonValue::Null)
+            .with(
+                "levels",
+                JsonValue::Array(vec![JsonValue::UInt(1), JsonValue::Num(0.5)]),
+            );
+        let parsed = parse(&doc.render()).unwrap();
+        assert_eq!(parsed, doc);
+        // And rendering the parse is byte-stable.
+        assert_eq!(parsed.render(), doc.render());
+    }
+
+    #[test]
+    fn parse_classifies_numbers() {
+        assert_eq!(parse("7").unwrap(), JsonValue::UInt(7));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("7.5").unwrap(), JsonValue::Num(7.5));
+        assert_eq!(parse("1e3").unwrap(), JsonValue::Num(1000.0));
+        // Too big for i64 still parses, as a float.
+        assert!(matches!(
+            parse("-99999999999999999999").unwrap(),
+            JsonValue::Num(_)
+        ));
+    }
+
+    #[test]
+    fn parse_unescapes_strings() {
+        assert_eq!(
+            parse(r#""aéb\n\t\"""#).unwrap(),
+            JsonValue::Str("a\u{e9}b\n\t\"".to_owned())
+        );
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_documents() {
+        let doc = parse(r#"{"op":"submit","id":42,"deep":{"x":[1,2]},"flag":false}"#).unwrap();
+        assert_eq!(doc.get("op").and_then(JsonValue::as_str), Some("submit"));
+        assert_eq!(doc.get("id").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(doc.get("flag").and_then(JsonValue::as_bool), Some(false));
+        let xs = doc
+            .get("deep")
+            .and_then(|d| d.get("x"))
+            .and_then(JsonValue::as_array)
+            .unwrap();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(doc.get("missing"), None);
+        assert_eq!(JsonValue::UInt(3).as_f64(), Some(3.0));
     }
 }

@@ -19,6 +19,10 @@
 //!    them).
 //! 4. **Unsafe-code headers** — every crate entry point carries
 //!    `#![forbid(unsafe_code)]`.
+//! 5. **Doc path references** — backtick-quoted repo paths in the
+//!    top-level docs (README, ROADMAP, DESIGN, EXPERIMENTS) must exist
+//!    in the tree, so refactors cannot leave the docs pointing at
+//!    nothing.
 
 /// One violated invariant: the offending path plus a human message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +57,7 @@ pub const UNWRAP_ALLOWLIST: &[&str] = &[
     "crates/bench/src/reports/figure13.rs",
     "crates/bench/src/reports/figure16.rs",
     "crates/bench/src/reports/mapping_search.rs",
+    "crates/bench/src/reports/service_load.rs",
     "crates/bench/src/reports/telemetry_profile.rs",
     "crates/dnn/src/tensor.rs",
     "crates/maeri/src/art.rs",
@@ -66,6 +71,9 @@ pub const UNWRAP_ALLOWLIST: &[&str] = &[
     "crates/runtime/src/pool.rs",
     "crates/runtime/src/runtime.rs",
     "crates/runtime/src/supervise.rs",
+    "crates/serve/src/metrics.rs",
+    "crates/serve/src/service.rs",
+    "crates/serve/src/store.rs",
     "crates/telemetry/src/json.rs",
 ];
 
@@ -312,6 +320,59 @@ pub fn check_forbid_unsafe(path: &str, content: &str) -> Vec<Finding> {
     }
 }
 
+/// Extracts the repo-path candidates referenced in backticks in a
+/// markdown document: the first whitespace-separated word of each
+/// backtick span, when it starts with a tracked prefix (`crates/`,
+/// `examples/`, `compat/`, `src/`, `tests/`, `.github/`) or is an
+/// absolute `/root/...` path. Globs are skipped; a trailing `/` or
+/// punctuation is trimmed.
+fn doc_path_candidates(content: &str) -> Vec<String> {
+    const PREFIXES: &[&str] = &[
+        "crates/",
+        "examples/",
+        "compat/",
+        "src/",
+        "tests/",
+        ".github/",
+        "/root/",
+    ];
+    let mut out = Vec::new();
+    for span in content.split('`').skip(1).step_by(2) {
+        let Some(word) = span.split_whitespace().next() else {
+            continue;
+        };
+        let token = word.trim_end_matches(['/', '.', ',', ':', ';', ')']);
+        if token.contains('*') || token.is_empty() {
+            continue;
+        }
+        if PREFIXES.iter().any(|p| token.starts_with(p)) {
+            out.push(token.to_owned());
+        }
+    }
+    out
+}
+
+/// Check 5: backtick-quoted paths in top-level docs must exist in the
+/// tree. `exists` answers for both repo-relative and absolute
+/// candidates, so the check stays a pure function for tests.
+pub fn check_doc_paths(doc: &str, content: &str, exists: &dyn Fn(&str) -> bool) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut flagged: Vec<String> = Vec::new();
+    for candidate in doc_path_candidates(content) {
+        if !exists(&candidate) && !flagged.contains(&candidate) {
+            findings.push(Finding::new(
+                doc,
+                format!(
+                    "references `{candidate}`, which does not exist in the tree \
+                     (fix the reference or the path)"
+                ),
+            ));
+            flagged.push(candidate);
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +489,26 @@ pub const REPORTS: &[(usize, &str, fn())] = &[
 ];
 "#;
         assert_eq!(check_report_registry("mod.rs", src), vec![]);
+    }
+
+    #[test]
+    fn dangling_doc_path_is_flagged_once() {
+        let doc = "See `crates/gone/src/lib.rs` and `/root/related/` and \
+                   again `crates/gone/src/lib.rs`; globs `crates/*/src` and \
+                   commands `examples/ok.rs --flag x` are fine, as is the \
+                   trailing slash in `crates/ok/tests/`.";
+        let exists = |p: &str| p.starts_with("crates/ok") || p == "examples/ok.rs";
+        let findings = check_doc_paths("DESIGN.md", doc, &exists);
+        assert_eq!(findings.len(), 2, "each dangling path flagged once");
+        assert!(findings[0].message.contains("crates/gone/src/lib.rs"));
+        assert!(findings[1].message.contains("/root/related"));
+    }
+
+    #[test]
+    fn existing_doc_paths_pass() {
+        let doc = "Built from `src/lib.rs`; CI is `.github/workflows/ci.yml`.";
+        let exists = |p: &str| p == "src/lib.rs" || p == ".github/workflows/ci.yml";
+        assert_eq!(check_doc_paths("README.md", doc, &exists), vec![]);
     }
 
     #[test]

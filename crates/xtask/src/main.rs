@@ -2,8 +2,9 @@
 //!
 //! `lint` walks the workspace and enforces the invariants implemented
 //! in [`lint`] (probe-twin sync, the unwrap allowlist, report-registry
-//! contiguity, `#![forbid(unsafe_code)]` headers). Exits non-zero with
-//! one line per finding so CI can gate on it.
+//! contiguity, `#![forbid(unsafe_code)]` headers, dangling doc-path
+//! references). Exits non-zero with one line per finding so CI can
+//! gate on it.
 
 mod lint;
 
@@ -114,6 +115,20 @@ fn run_lint() -> ExitCode {
     for (path, content) in &sources {
         if path.ends_with("/lib.rs") || path == "src/lib.rs" {
             findings.extend(lint::check_forbid_unsafe(path, content));
+        }
+    }
+
+    // 5. No dangling path references in the top-level docs.
+    let exists = |candidate: &str| {
+        if candidate.starts_with('/') {
+            Path::new(candidate).exists()
+        } else {
+            root.join(candidate).exists()
+        }
+    };
+    for doc in ["README.md", "ROADMAP.md", "DESIGN.md", "EXPERIMENTS.md"] {
+        if let Ok(content) = std::fs::read_to_string(root.join(doc)) {
+            findings.extend(lint::check_doc_paths(doc, &content, &exists));
         }
     }
 

@@ -1,0 +1,104 @@
+//! Service smoke test: start the batch-inference server on an
+//! ephemeral port, drive ~100 seeded traffic-generator jobs through a
+//! real socket client, and assert the service-level invariants CI
+//! cares about — nonzero cache/store hits and zero admission errors
+//! at the default per-tenant depth.
+//!
+//! Run with: `cargo run --release --example serve_smoke`
+
+use std::sync::Arc;
+
+use maeri_repro::runtime::Runtime;
+use maeri_repro::serve::loadsim::{self, LoadScenario};
+use maeri_repro::serve::service::{ServeConfig, Service};
+use maeri_repro::serve::traffic::{self, TrafficConfig};
+use maeri_repro::serve::wire::Client;
+use maeri_repro::serve::Server;
+use maeri_repro::telemetry::json::JsonValue;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let store_path =
+        std::env::temp_dir().join(format!("maeri-serve-smoke-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&store_path);
+
+    let service = Arc::new(Service::start(
+        ServeConfig {
+            workers: 2,
+            per_tenant_depth: 64,
+            store_path: Some(store_path.clone()),
+        },
+        Arc::new(Runtime::new(2)),
+    )?);
+    let mut server = Server::start(Arc::clone(&service), "127.0.0.1:0")?;
+    let addr = server.local_addr();
+    println!("serve smoke: listening on {addr}");
+
+    let arrivals = traffic::generate(&TrafficConfig {
+        seed: 42,
+        arrivals: 100,
+        tenants: 4,
+        mean_interarrival_us: 200,
+        random_fraction: 0.3,
+    });
+
+    // Submit everything through a real socket; the 64-deep per-tenant
+    // bound comfortably holds 25 jobs per tenant, so every submit must
+    // be admitted.
+    let mut client = Client::connect(&addr)?;
+    let mut ids = Vec::with_capacity(arrivals.len());
+    for arrival in &arrivals {
+        let id = client
+            .submit(&arrival.tenant, &arrival.spec)?
+            .map_err(|e| format!("unexpected admission reject: {e}"))?;
+        ids.push(id);
+    }
+    println!("serve smoke: submitted {} jobs", ids.len());
+
+    // Poll every job to completion over the same connection.
+    for &id in &ids {
+        loop {
+            let status = client.poll(id)?;
+            if status == "done" {
+                break;
+            }
+            if status == "failed" {
+                return Err(format!("job {id} failed").into());
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    let stats = client.stats()?;
+    let counter = |name: &str| -> u64 {
+        stats
+            .get(name)
+            .and_then(JsonValue::as_u64)
+            .unwrap_or(u64::MAX)
+    };
+    let store_hits = counter("store_hits");
+    let cache_hits = counter("cache_hits");
+    let rejected = counter("rejected_backpressure") + counter("rejected_invalid");
+    println!(
+        "serve smoke: store_hits={store_hits} cache_hits={cache_hits} \
+         rejected={rejected} store_entries={}",
+        counter("store_entries")
+    );
+    assert_eq!(counter("submitted"), 100, "every job reached the server");
+    assert_eq!(rejected, 0, "default limits must admit this traffic");
+    assert!(
+        store_hits + cache_hits > 0,
+        "100 arrivals over a small job pool must repeat and hit a cache"
+    );
+
+    // Determinism cross-check: two virtual-time replays of the same
+    // trace agree exactly (the service_load report relies on this).
+    let a = loadsim::simulate(&arrivals, &LoadScenario::default(), &Runtime::new(1), None);
+    let b = loadsim::simulate(&arrivals, &LoadScenario::default(), &Runtime::new(1), None);
+    assert_eq!(a, b, "virtual-time replay must be deterministic");
+
+    server.stop();
+    drop(service);
+    let _ = std::fs::remove_file(&store_path);
+    println!("serve smoke: OK");
+    Ok(())
+}

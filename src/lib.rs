@@ -67,6 +67,9 @@ pub use maeri_mapspace as mapspace;
 /// Batch-simulation runtime (re-export of `maeri-runtime`).
 pub use maeri_runtime as runtime;
 
+/// Batch-inference simulation service (re-export of `maeri-serve`).
+pub use maeri_serve as serve;
+
 /// Static mapping verification (re-export of `maeri-verify`).
 pub use maeri_verify as verify;
 
