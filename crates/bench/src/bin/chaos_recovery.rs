@@ -1,0 +1,7 @@
+//! Chaos recovery: deterministic fault injection over the serving
+//! stack's journal, store, deadlines, and breaker (thin wrapper over
+//! `maeri_bench::reports::chaos_recovery`).
+
+fn main() {
+    maeri_bench::reports::chaos_recovery::run();
+}

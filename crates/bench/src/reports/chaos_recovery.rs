@@ -1,0 +1,91 @@
+//! Chaos recovery: the serving stack's crash-safety invariant under
+//! deterministic fault injection.
+//!
+//! Each row injects one `maeri_serve::chaos::FaultPoint` — constructed
+//! on-disk wreckage (torn journal tails, corrupted store records,
+//! killed processes caught between journal append, store append, and
+//! tombstone) or a live hostile input (wedged workers, malformed wire
+//! frames) — then restarts the service and measures recovery. The
+//! invariant in every row is the same: **lost = 0**; no job a caller
+//! was ever acknowledged for disappears.
+//!
+//! Every printed number is crash-invariant: scenario wreckage is
+//! constructed byte-for-byte from seeds, and live scenarios count only
+//! structured outcomes — so the report is byte-identical on every
+//! host at every worker count.
+
+use maeri_serve::chaos::{self, FaultPoint};
+use maeri_sim::table::Table;
+
+use crate::report;
+
+/// The harness seed; changing it changes the wreckage, not the
+/// invariant.
+const SEED: u64 = 0x0701;
+
+/// Prints this report to stdout.
+///
+/// # Panics
+///
+/// Panics if the scratch directory cannot be created — the report owns
+/// its own temp path.
+pub fn run() {
+    report::header(
+        "Chaos recovery — crash-safe serving under fault injection",
+        "Write-ahead admission journal, recovery replay, deadlines, and breaker quarantine",
+    );
+    let dir = std::env::temp_dir().join(format!("maeri-chaos-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("creating the chaos scratch directory failed");
+
+    let outcomes: Vec<chaos::ChaosOutcome> = FaultPoint::ALL
+        .iter()
+        .map(|&fault| chaos::run_scenario(fault, &dir, SEED))
+        .collect();
+
+    let mut table = Table::new(vec![
+        "fault",
+        "acked",
+        "replayed",
+        "from store",
+        "resolved",
+        "lost",
+        "detail",
+    ]);
+    for outcome in &outcomes {
+        table.row(vec![
+            outcome.fault.name().to_owned(),
+            outcome.acknowledged.to_string(),
+            outcome.orphans_replayed.to_string(),
+            outcome.recovered_from_store.to_string(),
+            outcome.resolved.to_string(),
+            outcome.lost.to_string(),
+            outcome.detail.clone(),
+        ]);
+    }
+    report::section(
+        "Fault injection matrix (seeded wreckage, restart, replay)",
+        &table,
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let acked: u64 = outcomes.iter().map(|o| o.acknowledged).sum();
+    let resolved: u64 = outcomes.iter().map(|o| o.resolved).sum();
+    let lost: u64 = outcomes.iter().map(|o| o.lost).sum();
+    assert_eq!(lost, 0, "an acknowledged job was lost: {outcomes:?}");
+    report::summary(&[
+        format!(
+            "{} fault points injected; {acked} acknowledged jobs, {resolved} resolved after \
+             recovery, {lost} lost (invariant: zero acknowledged loss)",
+            FaultPoint::ALL.len()
+        ),
+        "kills around the journal append replay orphans under their original ids".to_owned(),
+        "results that reached the store before the crash answer replay without re-running"
+            .to_owned(),
+        "torn journal tails and rotted store records are trimmed/skipped, never fatal".to_owned(),
+        "wedged workers become structured timeouts; the circuit breaker quarantines the tenant"
+            .to_owned(),
+        "seeded wire mutations always produce structured errors, never a panic".to_owned(),
+        "all wreckage is seed-constructed: this report is byte-identical on every host".to_owned(),
+    ]);
+}

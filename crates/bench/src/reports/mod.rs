@@ -8,6 +8,7 @@
 //! simulation runtime.
 
 pub mod ablations;
+pub mod chaos_recovery;
 pub mod energy;
 pub mod fault_sweep;
 pub mod figure11;
@@ -44,6 +45,7 @@ pub const REPORTS: &[(usize, &str, fn())] = &[
     (14, "telemetry_profile", telemetry_profile::run),
     (15, "mapping_search", mapping_search::run),
     (16, "service_load", service_load::run),
+    (17, "chaos_recovery", chaos_recovery::run),
 ];
 
 #[cfg(test)]
@@ -52,7 +54,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(REPORTS.len(), 16);
+        assert_eq!(REPORTS.len(), 17);
         let mut names: Vec<&str> = REPORTS.iter().map(|(_, n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();

@@ -141,6 +141,7 @@ pub fn run() {
             workers: 2,
             per_tenant_depth: 64,
             store_path: Some(store_path.clone()),
+            ..ServeConfig::default()
         },
         Arc::new(Runtime::new(1)),
     )

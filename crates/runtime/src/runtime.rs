@@ -120,15 +120,34 @@ impl Runtime {
 
     /// Runs one job (through the cache, but on the calling thread).
     pub fn run_one(&self, job: &SimJob) -> JobResult {
+        self.run_one_with_deadline(job, None)
+    }
+
+    /// Runs one job under a per-request deadline: the runtime's
+    /// [`RetryPolicy`] is applied as usual, but each attempt's watchdog
+    /// budget is clamped to `deadline` (a policy without a watchdog
+    /// gains one for this job only). Past the deadline the attempt is
+    /// abandoned and reported as [`crate::JobError::TimedOut`] — a
+    /// transient error, so it is never cached. `None` behaves exactly
+    /// like [`Runtime::run_one`].
+    pub fn run_one_with_deadline(
+        &self,
+        job: &SimJob,
+        deadline: Option<std::time::Duration>,
+    ) -> JobResult {
         let start = Instant::now();
         let key = job.key();
         self.metrics.record_submitted(1);
+        let mut policy = self.policy;
+        if let Some(limit) = deadline {
+            policy.timeout = Some(policy.timeout.map_or(limit, |t| t.min(limit)));
+        }
         let (result, hit) = if let Some(hit) = self.cache.get(&key) {
             self.metrics.record_cache_hits(1);
             (hit, true)
         } else {
             // The supervisor records per-attempt executed/failed counts.
-            let result = crate::supervise::execute_supervised(job, &self.policy, &self.metrics);
+            let result = crate::supervise::execute_supervised(job, &policy, &self.metrics);
             self.record_telemetry(&result);
             self.cache.insert(key, result.clone());
             (result, false)
@@ -351,6 +370,35 @@ mod tests {
         let results = runtime.run_network(MaeriConfig::paper_64(), &model, VnPolicy::Auto);
         assert_eq!(results.len(), model.layers().len());
         assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn deadline_turns_a_wedged_job_into_a_timeout() {
+        let runtime = Runtime::new(1);
+        let result = runtime.run_one_with_deadline(
+            &SimJob::wedge(5_000),
+            Some(std::time::Duration::from_millis(20)),
+        );
+        assert!(matches!(result, Err(crate::JobError::TimedOut(_))));
+        // The timeout is transient: it must not be cached, so a
+        // deadline-free re-run executes the job for real.
+        assert_eq!(runtime.metrics().timeouts, 1);
+        assert_eq!(runtime.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn deadline_clamps_but_never_extends_the_policy_watchdog() {
+        let policy = RetryPolicy::default().with_timeout(std::time::Duration::from_millis(20));
+        let runtime = Runtime::with_policy(1, policy);
+        // A generous per-request deadline must not loosen the policy's
+        // own 20 ms watchdog.
+        let start = Instant::now();
+        let result = runtime.run_one_with_deadline(
+            &SimJob::wedge(5_000),
+            Some(std::time::Duration::from_secs(30)),
+        );
+        assert!(matches!(result, Err(crate::JobError::TimedOut(_))));
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
     }
 
     #[test]

@@ -17,11 +17,23 @@
 //!   ([`store`]): an append-only log keyed by [`maeri_runtime::JobKey`]
 //!   that survives restarts, trims torn appends, and reports — never
 //!   panics on — corruption;
+//! * a write-ahead admission journal ([`journal`]): every wire-level
+//!   submit is durably recorded before its ticket is returned, so
+//!   [`service::Service::start`] can replay orphaned jobs after a
+//!   crash — an acknowledged job is never lost;
+//! * per-request deadlines and a per-tenant circuit breaker: wedged
+//!   jobs become structured timeouts, and a tenant whose jobs keep
+//!   timing out is quarantined until a cooldown probe succeeds;
 //! * service metrics ([`metrics`]): admission counters, queue depth,
-//!   store/cache hit rate, and wall-latency percentiles;
+//!   store/cache hit rate, breaker/journal counters, recovery reports,
+//!   and wall-latency percentiles;
 //! * a seeded Poisson traffic generator ([`traffic`]) and a
 //!   deterministic virtual-time load simulator ([`loadsim`]) that
-//!   drive the `service_load` report and the CI smoke test.
+//!   drive the `service_load` report and the CI smoke test;
+//! * a deterministic chaos harness ([`chaos`]): seeded fault injection
+//!   (torn journal tails, corrupted store records, wedged workers,
+//!   malformed wire frames, kills around the journal append) behind
+//!   the byte-stable `chaos_recovery` report.
 //!
 //! # Quick start
 //!
@@ -39,6 +51,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod journal;
 pub mod loadsim;
 pub mod metrics;
 pub mod server;
@@ -47,6 +61,8 @@ pub mod store;
 pub mod traffic;
 pub mod wire;
 
+pub use chaos::{ChaosOutcome, FaultPoint};
+pub use journal::{AdmitRecord, Journal, JournalRecovery, ReplaySummary};
 pub use metrics::{ServiceMetrics, ServiceSnapshot};
 pub use server::Server;
 pub use service::{JobStatus, JobTicket, ServeConfig, Service, SubmitError};

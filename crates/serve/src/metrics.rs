@@ -18,6 +18,9 @@ use maeri_runtime::CacheStats;
 use maeri_sim::histogram::Histogram;
 use maeri_telemetry::json::JsonValue;
 
+use crate::journal::ReplaySummary;
+use crate::store::RecoveryReport;
+
 /// Shared atomic counters for one service instance.
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
@@ -29,14 +32,32 @@ pub struct ServiceMetrics {
     pub rejected_backpressure: AtomicU64,
     /// Jobs rejected by the `maeri-verify` pre-flight at admission.
     pub rejected_invalid: AtomicU64,
+    /// Jobs rejected because the tenant's circuit breaker was open.
+    pub rejected_circuit: AtomicU64,
     /// Jobs answered directly from the persistent store at admission.
     pub store_hits: AtomicU64,
     /// Jobs that ran to a successful result.
     pub completed: AtomicU64,
     /// Jobs that ran to a structured error.
     pub failed: AtomicU64,
+    /// Jobs whose structured error was a watchdog/deadline timeout (a
+    /// subset of `failed`).
+    pub timeouts: AtomicU64,
     /// Persistent-store writes that failed (result still served).
     pub store_put_errors: AtomicU64,
+    /// Write-ahead journal records durably appended.
+    pub journal_appends: AtomicU64,
+    /// Journal appends that failed (the submit still proceeds, minus
+    /// its crash-safety guarantee).
+    pub journal_append_errors: AtomicU64,
+    /// Circuit-breaker transitions into `Open`.
+    pub breaker_opened: AtomicU64,
+    /// Circuit-breaker transitions into `HalfOpen` (cooldown expired,
+    /// one probe admitted).
+    pub breaker_half_open: AtomicU64,
+    /// Circuit-breaker transitions back to `Closed` (a probe
+    /// succeeded).
+    pub breaker_closed: AtomicU64,
     /// Jobs currently queued or running.
     pub queue_depth: AtomicU64,
     /// High-water mark of `queue_depth`.
@@ -81,10 +102,17 @@ impl ServiceMetrics {
             admitted: self.admitted.load(Ordering::Relaxed),
             rejected_backpressure: self.rejected_backpressure.load(Ordering::Relaxed),
             rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            rejected_circuit: self.rejected_circuit.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
             store_put_errors: self.store_put_errors.load(Ordering::Relaxed),
+            journal_appends: self.journal_appends.load(Ordering::Relaxed),
+            journal_append_errors: self.journal_append_errors.load(Ordering::Relaxed),
+            breaker_opened: self.breaker_opened.load(Ordering::Relaxed),
+            breaker_half_open: self.breaker_half_open.load(Ordering::Relaxed),
+            breaker_closed: self.breaker_closed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
             latency_p50_us: pct(50.0),
@@ -92,6 +120,8 @@ impl ServiceMetrics {
             latency_p999_us: pct(99.9),
             cache,
             store_entries,
+            store_recovery: RecoveryReport::default(),
+            journal_replay: ReplaySummary::default(),
         }
     }
 }
@@ -107,14 +137,28 @@ pub struct ServiceSnapshot {
     pub rejected_backpressure: u64,
     /// Verifier rejections.
     pub rejected_invalid: u64,
+    /// Circuit-breaker rejections (tenant quarantined).
+    pub rejected_circuit: u64,
     /// Store answers at admission.
     pub store_hits: u64,
     /// Successful completions.
     pub completed: u64,
     /// Failed completions.
     pub failed: u64,
+    /// Watchdog/deadline timeouts (a subset of `failed`).
+    pub timeouts: u64,
     /// Failed store appends.
     pub store_put_errors: u64,
+    /// Durable journal appends.
+    pub journal_appends: u64,
+    /// Failed journal appends.
+    pub journal_append_errors: u64,
+    /// Breaker transitions into `Open`.
+    pub breaker_opened: u64,
+    /// Breaker transitions into `HalfOpen`.
+    pub breaker_half_open: u64,
+    /// Breaker transitions back to `Closed`.
+    pub breaker_closed: u64,
     /// Jobs queued or running right now.
     pub queue_depth: u64,
     /// Queue-depth high-water mark.
@@ -129,6 +173,12 @@ pub struct ServiceSnapshot {
     pub cache: CacheStats,
     /// Results currently in the persistent store.
     pub store_entries: usize,
+    /// What [`crate::store::ResultStore::open`] found on disk when this
+    /// service started (zeroed when the service runs memory-only).
+    pub store_recovery: RecoveryReport,
+    /// What the journal replay did when this service started (zeroed
+    /// when journaling is disabled).
+    pub journal_replay: ReplaySummary,
 }
 
 impl ServiceSnapshot {
@@ -155,10 +205,20 @@ impl ServiceSnapshot {
                 JsonValue::UInt(self.rejected_backpressure),
             )
             .with("rejected_invalid", JsonValue::UInt(self.rejected_invalid))
+            .with("rejected_circuit", JsonValue::UInt(self.rejected_circuit))
             .with("store_hits", JsonValue::UInt(self.store_hits))
             .with("completed", JsonValue::UInt(self.completed))
             .with("failed", JsonValue::UInt(self.failed))
+            .with("timeouts", JsonValue::UInt(self.timeouts))
             .with("store_put_errors", JsonValue::UInt(self.store_put_errors))
+            .with("journal_appends", JsonValue::UInt(self.journal_appends))
+            .with(
+                "journal_append_errors",
+                JsonValue::UInt(self.journal_append_errors),
+            )
+            .with("breaker_opened", JsonValue::UInt(self.breaker_opened))
+            .with("breaker_half_open", JsonValue::UInt(self.breaker_half_open))
+            .with("breaker_closed", JsonValue::UInt(self.breaker_closed))
             .with("queue_depth", JsonValue::UInt(self.queue_depth))
             .with("queue_high_water", JsonValue::UInt(self.queue_high_water))
             .with("latency_p50_us", JsonValue::UInt(self.latency_p50_us))
@@ -168,6 +228,34 @@ impl ServiceSnapshot {
             .with("cache_misses", JsonValue::UInt(self.cache.misses))
             .with("cache_entries", JsonValue::UInt(self.cache.entries as u64))
             .with("store_entries", JsonValue::UInt(self.store_entries as u64))
+            .with(
+                "store_recovered_entries",
+                JsonValue::UInt(self.store_recovery.entries as u64),
+            )
+            .with(
+                "store_truncated_bytes",
+                JsonValue::UInt(self.store_recovery.truncated_bytes),
+            )
+            .with(
+                "store_skipped_entries",
+                JsonValue::UInt(self.store_recovery.skipped as u64),
+            )
+            .with(
+                "journal_orphans_replayed",
+                JsonValue::UInt(self.journal_replay.orphans_replayed),
+            )
+            .with(
+                "journal_recovered_from_store",
+                JsonValue::UInt(self.journal_replay.recovered_from_store),
+            )
+            .with(
+                "journal_truncated_bytes",
+                JsonValue::UInt(self.journal_replay.truncated_bytes),
+            )
+            .with(
+                "journal_skipped_records",
+                JsonValue::UInt(self.journal_replay.skipped),
+            )
     }
 }
 

@@ -108,20 +108,25 @@ fn handle_connection(mut stream: TcpStream, service: &Service) {
 
 fn dispatch(request: &Request, service: &Service) -> JsonValue {
     match request {
-        Request::Submit { tenant, spec } => match spec.to_sim_job() {
-            Err(message) => error_response("bad_request", &message),
-            Ok(job) => match service.submit(tenant, job) {
-                Ok(id) => JsonValue::object()
-                    .with("ok", JsonValue::Bool(true))
-                    .with("id", JsonValue::UInt(id)),
-                Err(err @ SubmitError::Backpressure { .. }) => {
-                    error_response("backpressure", &err.to_string())
-                }
-                Err(err @ SubmitError::InvalidMapping(_)) => {
-                    error_response("invalid_mapping", &err.to_string())
-                }
-                Err(err @ SubmitError::Closed) => error_response("closed", &err.to_string()),
-            },
+        Request::Submit {
+            tenant,
+            spec,
+            deadline_ms,
+        } => match service.submit_spec(tenant, spec, *deadline_ms) {
+            Ok(id) => JsonValue::object()
+                .with("ok", JsonValue::Bool(true))
+                .with("id", JsonValue::UInt(id)),
+            Err(err @ SubmitError::Backpressure { .. }) => {
+                error_response("backpressure", &err.to_string())
+            }
+            Err(err @ SubmitError::InvalidMapping(_)) => {
+                error_response("invalid_mapping", &err.to_string())
+            }
+            Err(SubmitError::InvalidSpec(message)) => error_response("bad_request", &message),
+            Err(err @ SubmitError::CircuitOpen { .. }) => {
+                error_response("circuit_open", &err.to_string())
+            }
+            Err(err @ SubmitError::Closed) => error_response("closed", &err.to_string()),
         },
         Request::Poll { id } => match service.status(*id) {
             Some(ticket) => JsonValue::object()

@@ -1,5 +1,6 @@
 //! The job-queue service: per-tenant fair scheduling, admission
-//! control, verifier pre-flight, and the persistent result store.
+//! control, verifier pre-flight, the persistent result store, and the
+//! write-ahead admission journal.
 //!
 //! Lifecycle of one submit:
 //!
@@ -10,25 +11,41 @@
 //!    completes the job immediately, without queueing.
 //! 3. **admission** — each tenant owns a bounded number of in-flight
 //!    jobs (queued + running); at the bound the submit is rejected
-//!    with backpressure rather than queued unboundedly.
-//! 4. **dispatch** — worker threads drain tenants round-robin in
+//!    with backpressure rather than queued unboundedly. A tenant whose
+//!    jobs repeatedly time out is quarantined by a circuit breaker
+//!    ([`SubmitError::CircuitOpen`]) until a cooldown expires and a
+//!    half-open probe succeeds.
+//! 4. **journal** — wire-level submits ([`Service::submit_spec`]) are
+//!    appended to the write-ahead journal *before* the ticket is
+//!    returned, so an acknowledged job survives a process crash:
+//!    [`Service::start`] replays admits without tombstones,
+//!    deduplicating against the store and re-enqueueing the rest under
+//!    their original ids.
+//! 5. **dispatch** — worker threads drain tenants round-robin in
 //!    first-submit order, so a flooding tenant cannot starve a quiet
-//!    one; results are appended to the store (first write wins) and
-//!    published on the job's ticket.
+//!    one; results are appended to the store (first write wins), the
+//!    journal gets a tombstone, and the outcome is published on the
+//!    job's ticket. A per-request `deadline_ms` rides into the runtime
+//!    watchdog, so a wedged simulation is abandoned as a structured
+//!    timeout instead of wedging the worker forever.
 //!
 //! Transient failures (panics, timeouts) are *not* persisted — only
 //! deterministic outcomes enter the content-addressed log, mirroring
-//! the runtime cache's policy.
+//! the runtime cache's policy. A published timeout still tombstones
+//! the journal: the caller got a structured answer, so the job is not
+//! an orphan.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use maeri_runtime::{Runtime, SimJob};
+use maeri_runtime::{JobError, Runtime, SimJob};
 
+use crate::journal::{AdmitRecord, Journal, ReplaySummary};
 use crate::metrics::{ServiceMetrics, ServiceSnapshot};
-use crate::store::{ResultStore, StoreError, StoredResult};
+use crate::store::{RecoveryReport, ResultStore, StoreError, StoredResult};
+use crate::wire::JobSpec;
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -40,6 +57,19 @@ pub struct ServeConfig {
     pub per_tenant_depth: usize,
     /// Persistent store path; `None` runs memory-only.
     pub store_path: Option<std::path::PathBuf>,
+    /// Write-ahead admission journal path; `None` disables journaling
+    /// (and with it crash-safe replay) at zero overhead.
+    pub journal_path: Option<std::path::PathBuf>,
+    /// How long [`Service::shutdown`] (and `Drop`) waits for queued
+    /// jobs to finish before abandoning them. Abandoned journaled jobs
+    /// are re-run by the next [`Service::start`] on the same journal.
+    pub close_grace: Duration,
+    /// Consecutive per-tenant timeouts that open the circuit breaker;
+    /// `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker quarantines its tenant before letting
+    /// one half-open probe through.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +78,10 @@ impl Default for ServeConfig {
             workers: 2,
             per_tenant_depth: 64,
             store_path: None,
+            journal_path: None,
+            close_grace: Duration::from_secs(5),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
         }
     }
 }
@@ -64,6 +98,16 @@ pub enum SubmitError {
     },
     /// The static verifier proved the mapping illegal.
     InvalidMapping(String),
+    /// The wire-level job spec could not be lowered into a runnable
+    /// job (bad fabric geometry, malformed layer).
+    InvalidSpec(String),
+    /// The tenant's circuit breaker is open: its recent jobs kept
+    /// timing out, so new work is quarantined until a cooldown probe
+    /// succeeds.
+    CircuitOpen {
+        /// The quarantined tenant.
+        tenant: String,
+    },
     /// The service is shutting down.
     Closed,
 }
@@ -75,6 +119,11 @@ impl std::fmt::Display for SubmitError {
                 write!(f, "tenant `{tenant}` is at its in-flight bound of {depth}")
             }
             SubmitError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
+            SubmitError::InvalidSpec(msg) => write!(f, "invalid job spec: {msg}"),
+            SubmitError::CircuitOpen { tenant } => write!(
+                f,
+                "tenant `{tenant}` is quarantined: repeated timeouts opened the circuit breaker"
+            ),
             SubmitError::Closed => write!(f, "service is shutting down"),
         }
     }
@@ -135,20 +184,45 @@ struct Ticket {
     submitted_at: Instant,
 }
 
+/// The per-tenant circuit breaker's position.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+enum BreakerState {
+    /// Normal operation.
+    #[default]
+    Closed,
+    /// Quarantined: submits are rejected until the cooldown expires.
+    Open,
+    /// Cooldown expired; exactly one probe job is in flight and
+    /// further submits stay rejected until it resolves.
+    HalfOpen,
+}
+
+#[derive(Debug, Default)]
+struct Breaker {
+    state: BreakerState,
+    consecutive_timeouts: u32,
+    open_until: Option<Instant>,
+}
+
+/// One queued unit of work: ticket id, lowered job, and the optional
+/// per-request deadline that travels with it to the worker.
+type QueuedJob = (u64, SimJob, Option<Duration>);
+
 struct Sched {
     /// Per-tenant queues in first-submit order; the ring is scanned
     /// round-robin from `cursor`.
-    queues: Vec<(String, VecDeque<(u64, SimJob)>)>,
+    queues: Vec<(String, VecDeque<QueuedJob>)>,
     cursor: usize,
     /// Queued + running jobs per tenant (the admission-control gauge).
     inflight: HashMap<String, usize>,
     tickets: HashMap<u64, Ticket>,
+    breakers: HashMap<String, Breaker>,
     shutdown: bool,
 }
 
 impl Sched {
     /// Pops the next job round-robin; `None` when every queue is empty.
-    fn next_job(&mut self) -> Option<(u64, SimJob)> {
+    fn next_job(&mut self) -> Option<QueuedJob> {
         if self.queues.is_empty() {
             return None;
         }
@@ -161,6 +235,16 @@ impl Sched {
         }
         None
     }
+
+    fn enqueue(&mut self, tenant: &str, entry: (u64, SimJob, Option<Duration>)) {
+        if let Some((_, queue)) = self.queues.iter_mut().find(|(name, _)| name == tenant) {
+            queue.push_back(entry);
+        } else {
+            let mut queue = VecDeque::new();
+            queue.push_back(entry);
+            self.queues.push((tenant.to_owned(), queue));
+        }
+    }
 }
 
 struct Shared {
@@ -171,13 +255,20 @@ struct Shared {
     completion_counter: AtomicU64,
     runtime: Arc<Runtime>,
     store: Option<ResultStore>,
+    journal: Option<Journal>,
+    store_recovery: RecoveryReport,
+    journal_replay: ReplaySummary,
+    breaker_threshold: u32,
+    breaker_cooldown: Duration,
     closing: AtomicBool,
 }
 
 /// The batch-inference simulation service.
 ///
-/// Dropping the service shuts it down: workers finish their current
-/// job, the queues drain no further, and threads are joined.
+/// Dropping the service shuts it down: workers finish in-flight jobs
+/// up to [`ServeConfig::close_grace`], anything still queued past the
+/// grace is abandoned (and, when journaled, re-run by the next start),
+/// and threads are joined.
 pub struct Service {
     shared: Arc<Shared>,
     next_id: AtomicU64,
@@ -187,31 +278,124 @@ pub struct Service {
 
 impl Service {
     /// Starts the service: opens (or creates) the persistent store and
+    /// the write-ahead journal, replays orphaned admissions from the
+    /// journal — answering those the store already holds, re-enqueueing
+    /// the rest under their original ids — compacts the journal, and
     /// spawns the worker threads.
     ///
     /// # Errors
     ///
-    /// Propagates [`StoreError`] when the store log cannot be opened
-    /// or is corrupt.
+    /// Propagates [`StoreError`] when the store or journal log cannot
+    /// be opened. On-disk corruption is never an error: both logs
+    /// recover by trimming/skipping and report what they found (see
+    /// [`ServiceSnapshot`](crate::metrics::ServiceSnapshot)).
     pub fn start(config: ServeConfig, runtime: Arc<Runtime>) -> Result<Self, StoreError> {
-        let store = match &config.store_path {
-            Some(path) => Some(ResultStore::open(path)?.0),
+        let (store, store_recovery) = match &config.store_path {
+            Some(path) => {
+                let (store, recovery) = ResultStore::open(path)?;
+                (Some(store), recovery)
+            }
+            None => (None, RecoveryReport::default()),
+        };
+        let journal_pair = match &config.journal_path {
+            Some(path) => Some(Journal::open(path)?),
             None => None,
         };
+
+        let metrics = ServiceMetrics::new();
+        let mut sched = Sched {
+            queues: Vec::new(),
+            cursor: 0,
+            inflight: HashMap::new(),
+            tickets: HashMap::new(),
+            breakers: HashMap::new(),
+            shutdown: false,
+        };
+        let mut replay = ReplaySummary::default();
+        let mut completions = 0u64;
+        let mut next_id = 1u64;
+
+        // Replay: every admit without a tombstone is a job some caller
+        // was acknowledged for but never got an outcome on. Jobs whose
+        // result already reached the store complete immediately; the
+        // rest re-enter the queues under their original ids, before
+        // any worker starts.
+        let journal = if let Some((journal, recovery)) = journal_pair {
+            replay.truncated_bytes = recovery.truncated_bytes;
+            replay.skipped = recovery.skipped as u64;
+            next_id = recovery.max_id + 1;
+            let mut live: Vec<AdmitRecord> = Vec::new();
+            for admit in &recovery.orphans {
+                let Ok(job) = admit.spec.to_sim_job() else {
+                    replay.skipped += 1;
+                    continue;
+                };
+                let label = job.label();
+                metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                let stored = store.as_ref().and_then(|s| s.get(&job.key()));
+                if let Some(result) = stored {
+                    // The crash landed between the store append and the
+                    // tombstone: the work is done, only the ack is owed.
+                    metrics.store_hits.fetch_add(1, Ordering::Relaxed);
+                    replay.recovered_from_store += 1;
+                    completions += 1;
+                    let status = if result.ok {
+                        JobStatus::Done
+                    } else {
+                        JobStatus::Failed
+                    };
+                    sched.tickets.insert(
+                        admit.id,
+                        Ticket {
+                            tenant: admit.tenant.clone(),
+                            label,
+                            status,
+                            result: Some(result),
+                            completion_seq: Some(completions),
+                            submitted_at: Instant::now(),
+                        },
+                    );
+                } else {
+                    metrics.job_queued();
+                    replay.orphans_replayed += 1;
+                    *sched.inflight.entry(admit.tenant.clone()).or_insert(0) += 1;
+                    sched.tickets.insert(
+                        admit.id,
+                        Ticket {
+                            tenant: admit.tenant.clone(),
+                            label,
+                            status: JobStatus::Queued,
+                            result: None,
+                            completion_seq: None,
+                            submitted_at: Instant::now(),
+                        },
+                    );
+                    sched.enqueue(
+                        &admit.tenant,
+                        (admit.id, job, admit.deadline_ms.map(Duration::from_millis)),
+                    );
+                    live.push(admit.clone());
+                }
+            }
+            journal.compact(&live)?;
+            Some(journal)
+        } else {
+            None
+        };
+
         let shared = Arc::new(Shared {
-            sched: Mutex::new(Sched {
-                queues: Vec::new(),
-                cursor: 0,
-                inflight: HashMap::new(),
-                tickets: HashMap::new(),
-                shutdown: false,
-            }),
+            sched: Mutex::new(sched),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
-            metrics: ServiceMetrics::new(),
-            completion_counter: AtomicU64::new(0),
+            metrics,
+            completion_counter: AtomicU64::new(completions),
             runtime,
             store,
+            journal,
+            store_recovery,
+            journal_replay: replay,
+            breaker_threshold: config.breaker_threshold,
+            breaker_cooldown: config.breaker_cooldown,
             closing: AtomicBool::new(false),
         });
         let workers = (0..config.workers.max(1))
@@ -225,24 +409,78 @@ impl Service {
             .collect();
         Ok(Service {
             shared,
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(next_id),
             config,
             workers: Mutex::new(workers),
         })
     }
 
-    /// Submits one job for `tenant`; returns its id.
+    /// Submits one raw runtime job for `tenant`; returns its id.
     ///
     /// A persistent-store hit completes the job immediately (the
     /// returned id is already `Done`). Otherwise the job is queued,
-    /// subject to the tenant's in-flight bound.
+    /// subject to the tenant's in-flight bound and circuit breaker.
+    ///
+    /// Raw `SimJob`s have no replayable wire encoding, so this path is
+    /// **not** journaled; use [`Service::submit_spec`] for crash-safe
+    /// admission.
     ///
     /// # Errors
     ///
     /// [`SubmitError::InvalidMapping`] from the verifier pre-flight,
-    /// [`SubmitError::Backpressure`] at the bound, or
+    /// [`SubmitError::Backpressure`] at the bound,
+    /// [`SubmitError::CircuitOpen`] for a quarantined tenant, or
     /// [`SubmitError::Closed`] during shutdown.
     pub fn submit(&self, tenant: &str, job: SimJob) -> Result<u64, SubmitError> {
+        self.admit(tenant, job, None, None)
+    }
+
+    /// [`Service::submit`] with a per-request deadline: the runtime
+    /// watchdog abandons the job past `deadline_ms` and publishes a
+    /// structured timeout.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Service::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        tenant: &str,
+        job: SimJob,
+        deadline_ms: u64,
+    ) -> Result<u64, SubmitError> {
+        self.admit(tenant, job, Some(deadline_ms), None)
+    }
+
+    /// Submits one wire-level job spec for `tenant`, journaled: the
+    /// admit record is durably appended *before* the id is returned,
+    /// so an acknowledged job survives a crash (store fast-path hits
+    /// complete at admission and need no journal entry). An optional
+    /// `deadline_ms` is enforced by the runtime watchdog and preserved
+    /// across replay.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::InvalidSpec`] when the spec cannot be lowered,
+    /// plus everything [`Service::submit`] returns.
+    pub fn submit_spec(
+        &self,
+        tenant: &str,
+        spec: &JobSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<u64, SubmitError> {
+        let job = spec.to_sim_job().map_err(SubmitError::InvalidSpec)?;
+        self.admit(tenant, job, deadline_ms, Some(spec))
+    }
+
+    /// The shared admission path. `journal_spec` is the wire form to
+    /// journal, when the caller has one.
+    fn admit(
+        &self,
+        tenant: &str,
+        job: SimJob,
+        deadline_ms: Option<u64>,
+        journal_spec: Option<&JobSpec>,
+    ) -> Result<u64, SubmitError> {
         let metrics = &self.shared.metrics;
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
         if self.shared.closing.load(Ordering::Relaxed) {
@@ -254,7 +492,7 @@ impl Service {
         }
         let label = job.label();
         // Store fast path: answer content-addressed repeats without a
-        // queue slot.
+        // queue slot (and without a journal record — nothing is owed).
         let stored = self
             .shared
             .store
@@ -293,6 +531,35 @@ impl Service {
             self.shared.job_done.notify_all();
             return Ok(id);
         }
+        // Circuit breaker: a tenant whose jobs keep timing out is
+        // quarantined; after the cooldown exactly one probe passes.
+        if self.shared.breaker_threshold > 0 {
+            if let Some(breaker) = sched.breakers.get_mut(tenant) {
+                match breaker.state {
+                    BreakerState::Open => {
+                        let expired = breaker
+                            .open_until
+                            .is_some_and(|until| Instant::now() >= until);
+                        if expired {
+                            breaker.state = BreakerState::HalfOpen;
+                            metrics.breaker_half_open.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            metrics.rejected_circuit.fetch_add(1, Ordering::Relaxed);
+                            return Err(SubmitError::CircuitOpen {
+                                tenant: tenant.to_owned(),
+                            });
+                        }
+                    }
+                    BreakerState::HalfOpen => {
+                        metrics.rejected_circuit.fetch_add(1, Ordering::Relaxed);
+                        return Err(SubmitError::CircuitOpen {
+                            tenant: tenant.to_owned(),
+                        });
+                    }
+                    BreakerState::Closed => {}
+                }
+            }
+        }
         let inflight = sched.inflight.entry(tenant.to_owned()).or_insert(0);
         if *inflight >= self.config.per_tenant_depth {
             metrics
@@ -306,6 +573,25 @@ impl Service {
         *inflight += 1;
         metrics.admitted.fetch_add(1, Ordering::Relaxed);
         metrics.job_queued();
+        // Write-ahead: the admit record must be durable before the
+        // caller sees the id. Appending under the scheduler lock keeps
+        // journal order consistent with admission order (a worker
+        // cannot tombstone this id before its admit is on disk).
+        if let (Some(journal), Some(spec)) = (&self.shared.journal, journal_spec) {
+            let record = AdmitRecord {
+                id,
+                tenant: tenant.to_owned(),
+                deadline_ms,
+                spec: spec.clone(),
+            };
+            if journal.append_admit(&record).is_ok() {
+                metrics.journal_appends.fetch_add(1, Ordering::Relaxed);
+            } else {
+                metrics
+                    .journal_append_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
         sched.tickets.insert(
             id,
             Ticket {
@@ -317,13 +603,7 @@ impl Service {
                 submitted_at: Instant::now(),
             },
         );
-        if let Some((_, queue)) = sched.queues.iter_mut().find(|(name, _)| name == tenant) {
-            queue.push_back((id, job));
-        } else {
-            let mut queue = VecDeque::new();
-            queue.push_back((id, job));
-            sched.queues.push((tenant.to_owned(), queue));
-        }
+        sched.enqueue(tenant, (id, job, deadline_ms.map(Duration::from_millis)));
         drop(sched);
         self.shared.work_ready.notify_one();
         Ok(id)
@@ -376,14 +656,18 @@ impl Service {
         drop(sched);
     }
 
-    /// The service metrics snapshot (includes runtime cache counters
-    /// and the store size).
+    /// The service metrics snapshot (includes runtime cache counters,
+    /// the store size, and what recovery found at start).
     #[must_use]
     pub fn stats(&self) -> ServiceSnapshot {
         let store_entries = self.shared.store.as_ref().map_or(0, ResultStore::len);
-        self.shared
+        let mut snapshot = self
+            .shared
             .metrics
-            .snapshot(self.shared.runtime.cache_stats(), store_entries)
+            .snapshot(self.shared.runtime.cache_stats(), store_entries);
+        snapshot.store_recovery = self.shared.store_recovery;
+        snapshot.journal_replay = self.shared.journal_replay;
+        snapshot
     }
 
     /// The shared runtime executing this service's jobs.
@@ -392,18 +676,58 @@ impl Service {
         &self.shared.runtime
     }
 
-    /// Stops accepting work, finishes in-flight jobs, and joins the
-    /// workers. Queued-but-unstarted jobs still run; only new submits
-    /// are refused.
+    /// Stops accepting work, waits up to [`ServeConfig::close_grace`]
+    /// for queued and running jobs to finish, abandons whatever is
+    /// still queued past the grace (journaled jobs are re-run by the
+    /// next start), and joins the workers.
     pub fn shutdown(&self) {
+        self.shutdown_with_grace(self.config.close_grace);
+    }
+
+    /// Shuts down with **zero** grace, like a crash with joined
+    /// threads: running jobs finish (a thread cannot be killed), but
+    /// everything queued is abandoned on the spot. The chaos harness
+    /// and the crash-recovery tests use this to orphan admitted work
+    /// deterministically.
+    pub fn crash(&self) {
+        self.shutdown_with_grace(Duration::ZERO);
+    }
+
+    fn shutdown_with_grace(&self, grace: Duration) {
         self.shared.closing.store(true, Ordering::Relaxed);
+        let handles: Vec<_> = {
+            let mut workers = self.workers.lock().expect("worker-handle mutex poisoned");
+            workers.drain(..).collect()
+        };
+        if handles.is_empty() {
+            return; // already shut down (e.g. crash() followed by Drop)
+        }
+        let deadline = Instant::now() + grace;
         {
             let mut sched = self.shared.sched.lock().expect("scheduler mutex poisoned");
+            // Grace drain: queue_depth counts queued + running, so this
+            // waits for in-flight work too, bounded by the deadline.
+            while self.shared.metrics.queue_depth.load(Ordering::Relaxed) > 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = self
+                    .shared
+                    .job_done
+                    .wait_timeout(sched, deadline - now)
+                    .expect("scheduler mutex poisoned");
+                sched = guard;
+            }
             sched.shutdown = true;
+            // Abandon anything still queued: tickets stay Queued, and
+            // journaled admits keep their records for the next replay.
+            for (_, queue) in &mut sched.queues {
+                queue.clear();
+            }
         }
         self.shared.work_ready.notify_all();
-        let mut workers = self.workers.lock().expect("worker-handle mutex poisoned");
-        for handle in workers.drain(..) {
+        for handle in handles {
             let _ = handle.join();
         }
     }
@@ -417,17 +741,19 @@ impl Drop for Service {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (id, job) = {
+        let (id, job, deadline) = {
             let mut sched = shared.sched.lock().expect("scheduler mutex poisoned");
             loop {
+                // Shutdown outranks the queue: past the grace period
+                // the remaining backlog is abandoned, not drained.
+                if sched.shutdown {
+                    return;
+                }
                 if let Some(work) = sched.next_job() {
                     if let Some(ticket) = sched.tickets.get_mut(&work.0) {
                         ticket.status = JobStatus::Running;
                     }
                     break work;
-                }
-                if sched.shutdown {
-                    return;
                 }
                 sched = shared
                     .work_ready
@@ -435,7 +761,8 @@ fn worker_loop(shared: &Shared) {
                     .expect("scheduler mutex poisoned");
             }
         };
-        let result = shared.runtime.run_one(&job);
+        let result = shared.runtime.run_one_with_deadline(&job, deadline);
+        let timed_out = matches!(&result, Err(JobError::TimedOut(_)));
         let stored = StoredResult::from_result(&job.label(), &result);
         // Persist deterministic outcomes only: a panic or timeout may
         // succeed on the next submit, so it must not be replayable.
@@ -451,6 +778,24 @@ fn worker_loop(shared: &Shared) {
                         .store_put_errors
                         .fetch_add(1, Ordering::Relaxed);
                 }
+            }
+        }
+        // Tombstone after the store append: a crash in between replays
+        // the admit and dedupes it from the store; a crash before the
+        // append re-runs the job. Either way nothing acknowledged is
+        // lost. Transient outcomes are tombstoned too — the caller got
+        // a structured answer, so the job is not an orphan.
+        if let Some(journal) = &shared.journal {
+            if journal.append_tombstone(id).is_ok() {
+                shared
+                    .metrics
+                    .journal_appends
+                    .fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared
+                    .metrics
+                    .journal_append_errors
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
         let seq = shared.completion_counter.fetch_add(1, Ordering::Relaxed) + 1;
@@ -472,7 +817,37 @@ fn worker_loop(shared: &Shared) {
                 shared
                     .metrics
                     .job_finished(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+                if shared.breaker_threshold > 0 {
+                    let breaker = sched.breakers.entry(tenant).or_default();
+                    if timed_out {
+                        breaker.consecutive_timeouts += 1;
+                        let trip = breaker.state == BreakerState::HalfOpen
+                            || (breaker.state == BreakerState::Closed
+                                && breaker.consecutive_timeouts >= shared.breaker_threshold);
+                        if trip {
+                            breaker.state = BreakerState::Open;
+                            breaker.open_until = Some(Instant::now() + shared.breaker_cooldown);
+                            shared
+                                .metrics
+                                .breaker_opened
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    } else {
+                        breaker.consecutive_timeouts = 0;
+                        if breaker.state == BreakerState::HalfOpen {
+                            breaker.state = BreakerState::Closed;
+                            breaker.open_until = None;
+                            shared
+                                .metrics
+                                .breaker_closed
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
             }
+        }
+        if timed_out {
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
         }
         if stored.ok {
             shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
@@ -495,7 +870,7 @@ mod tests {
             ServeConfig {
                 workers,
                 per_tenant_depth: depth,
-                store_path: None,
+                ..ServeConfig::default()
             },
             Arc::new(Runtime::new(1)),
         )
@@ -577,5 +952,122 @@ mod tests {
             "round-robin must not let tenant `flood` starve tenant `quiet` \
              (quiet finished {quiet_seq}, flood's last {flood_last})"
         );
+    }
+
+    #[test]
+    fn submit_after_shutdown_returns_closed() {
+        let svc = service(1, 8);
+        let id = svc.submit("t0", SimJob::health_check()).unwrap();
+        assert!(svc.wait(id).unwrap().ok);
+        svc.shutdown();
+        let err = svc.submit("t0", SimJob::health_check()).unwrap_err();
+        assert_eq!(err, SubmitError::Closed);
+    }
+
+    #[test]
+    fn crash_abandons_queued_jobs_but_shutdown_grace_drains_them() {
+        // Crash: zero grace, one worker wedged — queued jobs must stay
+        // Queued, and crash() must return without draining them.
+        let svc = service(1, 16);
+        let running = svc.submit("t0", SimJob::wedge(150)).unwrap();
+        let queued: Vec<u64> = (0..3)
+            .map(|i| svc.submit("t0", SimJob::wedge(200 + i)).unwrap())
+            .collect();
+        // Don't crash until the worker has actually picked up the
+        // first job, or it may be abandoned while still queued.
+        while svc.status(running).unwrap().status == JobStatus::Queued {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        svc.crash();
+        assert!(
+            svc.status(running).unwrap().result.is_some(),
+            "the running job finishes (threads cannot be killed)"
+        );
+        for id in queued {
+            assert_eq!(
+                svc.status(id).unwrap().status,
+                JobStatus::Queued,
+                "queued work past the grace is abandoned, not run"
+            );
+        }
+
+        // Graceful: the default close_grace comfortably covers this
+        // backlog, so Drop/shutdown completes everything.
+        let svc = service(1, 16);
+        let ids: Vec<u64> = (0..3)
+            .map(|i| svc.submit("t0", SimJob::wedge(5 + i)).unwrap())
+            .collect();
+        svc.shutdown();
+        for id in ids {
+            assert!(
+                svc.status(id).unwrap().result.is_some(),
+                "shutdown drains queued jobs within the grace period"
+            );
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_timeouts() {
+        let svc = Service::start(
+            ServeConfig {
+                workers: 1,
+                per_tenant_depth: 8,
+                breaker_threshold: 2,
+                breaker_cooldown: Duration::from_secs(30),
+                ..ServeConfig::default()
+            },
+            Arc::new(Runtime::new(1)),
+        )
+        .expect("start");
+        for _ in 0..2 {
+            let id = svc
+                .submit_with_deadline("hot", SimJob::wedge(30_000), 20)
+                .unwrap();
+            let result = svc.wait(id).unwrap();
+            assert!(!result.ok, "the deadline turns the wedge into a timeout");
+        }
+        let err = svc.submit("hot", SimJob::health_check()).unwrap_err();
+        assert!(matches!(err, SubmitError::CircuitOpen { .. }));
+        // Another tenant is unaffected by `hot`'s quarantine.
+        let ok = svc.submit("cool", SimJob::health_check()).unwrap();
+        assert!(svc.wait(ok).unwrap().ok);
+        let snap = svc.stats();
+        assert_eq!(snap.timeouts, 2);
+        assert_eq!(snap.breaker_opened, 1);
+        assert_eq!(snap.rejected_circuit, 1);
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_the_circuit() {
+        let svc = Service::start(
+            ServeConfig {
+                workers: 1,
+                per_tenant_depth: 8,
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(30),
+                ..ServeConfig::default()
+            },
+            Arc::new(Runtime::new(1)),
+        )
+        .expect("start");
+        let id = svc
+            .submit_with_deadline("hot", SimJob::wedge(30_000), 20)
+            .unwrap();
+        assert!(!svc.wait(id).unwrap().ok);
+        assert!(matches!(
+            svc.submit("hot", SimJob::health_check()).unwrap_err(),
+            SubmitError::CircuitOpen { .. }
+        ));
+        // After the cooldown one probe is admitted; its success closes
+        // the breaker and normal service resumes.
+        std::thread::sleep(Duration::from_millis(60));
+        let probe = svc.submit("hot", SimJob::health_check()).unwrap();
+        assert!(svc.wait(probe).unwrap().ok);
+        let after = svc.submit("hot", SimJob::health_check()).unwrap();
+        assert!(svc.wait(after).unwrap().ok);
+        let snap = svc.stats();
+        assert_eq!(snap.breaker_opened, 1);
+        assert_eq!(snap.breaker_half_open, 1);
+        assert_eq!(snap.breaker_closed, 1);
     }
 }

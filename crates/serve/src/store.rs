@@ -16,9 +16,16 @@
 //!
 //! * a **truncated tail** (the process died mid-append) is detected,
 //!   reported, and trimmed so the next append lands on a clean frame;
-//! * a **corrupted entry** (bad magic, implausible length, checksum
-//!   mismatch, unparseable payload) is a structured
-//!   [`StoreError::Corrupt`] — never a panic, never silent data reuse.
+//! * a **corrupted entry** whose framing is intact (checksum mismatch,
+//!   unparseable payload) is *skipped* using its length fields and
+//!   counted in the [`RecoveryReport`] — one flipped byte costs one
+//!   entry, not the log;
+//! * an entry whose **framing itself is implausible** (bad magic,
+//!   absurd lengths) means the frame boundaries are lost: the log is
+//!   truncated from that offset and the bytes are counted as torn.
+//!
+//! Nothing in recovery panics, errors out, or silently serves bad
+//! data; the report is surfaced through the service's `stats` verb.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -44,24 +51,12 @@ pub enum StoreError {
         /// What the store was doing when the error hit.
         context: String,
     },
-    /// A complete-looking log entry failed validation. Distinct from a
-    /// truncated tail, which is recovered from silently (minus a note
-    /// in the [`RecoveryReport`]).
-    Corrupt {
-        /// Byte offset of the offending entry.
-        offset: u64,
-        /// What failed to validate.
-        reason: String,
-    },
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Io { context } => write!(f, "store i/o error: {context}"),
-            StoreError::Corrupt { offset, reason } => {
-                write!(f, "store log corrupt at byte {offset}: {reason}")
-            }
         }
     }
 }
@@ -82,8 +77,12 @@ pub struct RecoveryReport {
     /// Complete entries replayed into the index.
     pub entries: usize,
     /// Bytes of truncated tail trimmed from the log (a crash landed
-    /// mid-append); zero on a clean shutdown.
+    /// mid-append, or the frame boundaries were lost); zero on a
+    /// clean shutdown.
     pub truncated_bytes: u64,
+    /// Complete-but-corrupt entries skipped during replay (checksum
+    /// mismatch or unparseable payload with intact framing).
+    pub skipped: usize,
 }
 
 /// One stored job outcome — the durable, wire-friendly projection of a
@@ -219,12 +218,14 @@ impl std::fmt::Debug for ResultStore {
 
 impl ResultStore {
     /// Opens (or creates) the log at `path`, replaying complete
-    /// entries into the index and trimming any truncated tail.
+    /// entries into the index, skipping corrupt ones, and trimming any
+    /// truncated tail. What recovery found — entries replayed, bytes
+    /// trimmed, entries skipped — is returned alongside the store.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] on filesystem failures; [`StoreError::Corrupt`]
-    /// when a complete entry fails its checksum or does not parse.
+    /// [`StoreError::Io`] on filesystem failures. Corruption is never
+    /// an error: it is counted in the [`RecoveryReport`].
     pub fn open(path: &Path) -> Result<(Self, RecoveryReport), StoreError> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -241,7 +242,7 @@ impl ResultStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(StoreError::io(format!("open {}", path.display()), &e)),
         }
-        let (index, valid_len, entries) = replay(&bytes)?;
+        let (index, valid_len, entries, skipped) = replay(&bytes);
         let truncated = bytes.len() as u64 - valid_len;
         // Append mode: every write lands at end-of-file, so the log
         // can never overwrite a replayed entry.
@@ -263,6 +264,7 @@ impl ResultStore {
             RecoveryReport {
                 entries,
                 truncated_bytes: truncated,
+                skipped,
             },
         ))
     }
@@ -344,33 +346,28 @@ fn checksum(key: &[u8], payload: &[u8]) -> u64 {
 }
 
 /// Replays the log bytes: returns the rebuilt index, the byte length
-/// of the valid prefix, and the entry count. A tail that ends
-/// mid-entry is treated as a crashed append and excluded from the
-/// valid prefix; a *complete* entry that fails validation is an error.
+/// of the retained prefix, the entry count, and the skipped-entry
+/// count. A tail that ends mid-entry — or whose framing is no longer
+/// plausible — is treated as a crashed append and excluded from the
+/// retained prefix; a *complete* entry that fails validation is
+/// skipped over its intact framing and counted.
 #[allow(clippy::type_complexity)]
-fn replay(bytes: &[u8]) -> Result<(HashMap<Vec<u8>, StoredResult>, u64, usize), StoreError> {
+fn replay(bytes: &[u8]) -> (HashMap<Vec<u8>, StoredResult>, u64, usize, usize) {
     let mut index = HashMap::new();
     let mut offset = 0usize;
     let mut entries = 0usize;
+    let mut skipped = 0usize;
     while offset < bytes.len() {
         let rest = &bytes[offset..];
         if rest.len() < 12 {
             break; // truncated header
         }
         let magic = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
-        if magic != MAGIC {
-            return Err(StoreError::Corrupt {
-                offset: offset as u64,
-                reason: format!("bad magic {magic:#010x}"),
-            });
-        }
         let key_len = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
         let payload_len = u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]);
-        if key_len == 0 || key_len > MAX_FIELD_LEN || payload_len > MAX_FIELD_LEN {
-            return Err(StoreError::Corrupt {
-                offset: offset as u64,
-                reason: format!("implausible entry lengths key={key_len} payload={payload_len}"),
-            });
+        if magic != MAGIC || key_len == 0 || key_len > MAX_FIELD_LEN || payload_len > MAX_FIELD_LEN
+        {
+            break; // framing lost: everything from here is unreadable
         }
         let body_len = 12 + key_len as usize + payload_len as usize + 8;
         if rest.len() < body_len {
@@ -380,29 +377,24 @@ fn replay(bytes: &[u8]) -> Result<(HashMap<Vec<u8>, StoredResult>, u64, usize), 
         let payload = &rest[12 + key_len as usize..12 + key_len as usize + payload_len as usize];
         let stored_sum =
             u64::from_le_bytes(rest[body_len - 8..body_len].try_into().unwrap_or([0u8; 8]));
-        if stored_sum != checksum(key, payload) {
-            return Err(StoreError::Corrupt {
-                offset: offset as u64,
-                reason: "checksum mismatch".to_owned(),
-            });
-        }
-        let text = std::str::from_utf8(payload).map_err(|_| StoreError::Corrupt {
-            offset: offset as u64,
-            reason: "payload is not UTF-8".to_owned(),
-        })?;
-        let doc = json::parse(text).map_err(|e| StoreError::Corrupt {
-            offset: offset as u64,
-            reason: format!("payload is not JSON: {e}"),
-        })?;
-        let result = StoredResult::from_json(&doc).map_err(|e| StoreError::Corrupt {
-            offset: offset as u64,
-            reason: e,
-        })?;
-        index.insert(key.to_vec(), result);
-        entries += 1;
         offset += body_len;
+        if stored_sum != checksum(key, payload) {
+            skipped += 1;
+            continue; // one flipped byte costs one entry, not the log
+        }
+        let parsed = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|text| json::parse(text).ok())
+            .and_then(|doc| StoredResult::from_json(&doc).ok());
+        match parsed {
+            Some(result) => {
+                index.insert(key.to_vec(), result);
+                entries += 1;
+            }
+            None => skipped += 1,
+        }
     }
-    Ok((index, offset as u64, entries))
+    (index, offset as u64, entries, skipped)
 }
 
 #[cfg(test)]
@@ -452,8 +444,26 @@ mod tests {
     }
 
     #[test]
-    fn replay_rejects_bad_magic() {
-        let err = replay(&[0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0, 0, 0, 0, 0, 0]).unwrap_err();
-        assert!(matches!(err, StoreError::Corrupt { offset: 0, .. }));
+    fn replay_treats_bad_magic_as_lost_framing() {
+        let bytes = [0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0, 0, 0, 0, 0, 0];
+        let (index, valid_len, entries, skipped) = replay(&bytes);
+        assert!(index.is_empty());
+        assert_eq!(valid_len, 0, "nothing after lost framing is retained");
+        assert_eq!(entries, 0);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn replay_skips_a_checksum_mismatch_over_intact_framing() {
+        let mut bytes = encode_entry(b"key-a", &sample("a"));
+        let tail = encode_entry(b"key-b", &sample("b"));
+        let flip_at = 12 + 2; // inside the first entry's key bytes
+        bytes[flip_at] ^= 0xff;
+        bytes.extend_from_slice(&tail);
+        let (index, valid_len, entries, skipped) = replay(&bytes);
+        assert_eq!(skipped, 1);
+        assert_eq!(entries, 1, "the entry after the corrupt one replays");
+        assert_eq!(valid_len, bytes.len() as u64);
+        assert_eq!(index.get(&b"key-b"[..]).unwrap().label, "b");
     }
 }

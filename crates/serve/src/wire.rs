@@ -11,9 +11,13 @@
 //! {"op":"stats"}                              -> {"ok":true,"stats":{...}}
 //! ```
 //!
+//! A submit may carry an optional `"deadline_ms":N` field: the runtime
+//! watchdog abandons the job past the deadline and publishes a
+//! structured timeout instead of wedging a worker.
+//!
 //! Failures are `{"ok":false,"error":<code>,"message":<text>}` with
-//! error codes `backpressure`, `invalid_mapping`, `unknown_id`,
-//! `pending`, and `bad_request`.
+//! error codes `backpressure`, `invalid_mapping`, `circuit_open`,
+//! `closed`, `unknown_id`, `pending`, and `bad_request`.
 //!
 //! The `job` object is a [`JobSpec`]: a wire-friendly subset of the
 //! runtime's [`SimJob`] vocabulary (dense conv, fc, lstm, telemetry
@@ -339,6 +343,9 @@ pub enum Request {
         tenant: String,
         /// The job to run.
         spec: JobSpec,
+        /// Optional per-request deadline (milliseconds) enforced by
+        /// the runtime watchdog.
+        deadline_ms: Option<u64>,
     },
     /// Ask for a job's status.
     Poll {
@@ -372,18 +379,28 @@ impl Request {
                 .ok_or("request missing integer field `id`")
         };
         match op {
-            "submit" => Ok(Request::Submit {
-                tenant: value
-                    .get("tenant")
-                    .and_then(JsonValue::as_str)
-                    .ok_or("submit missing string field `tenant`")?
-                    .to_owned(),
-                spec: JobSpec::from_json(
-                    value
-                        .get("job")
-                        .ok_or("submit missing object field `job`")?,
-                )?,
-            }),
+            "submit" => {
+                let deadline_ms = match value.get("deadline_ms") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_u64()
+                            .ok_or("submit field `deadline_ms` is not an integer")?,
+                    ),
+                };
+                Ok(Request::Submit {
+                    tenant: value
+                        .get("tenant")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("submit missing string field `tenant`")?
+                        .to_owned(),
+                    spec: JobSpec::from_json(
+                        value
+                            .get("job")
+                            .ok_or("submit missing object field `job`")?,
+                    )?,
+                    deadline_ms,
+                })
+            }
             "poll" => Ok(Request::Poll { id: id()? }),
             "result" => Ok(Request::Fetch { id: id()? }),
             "stats" => Ok(Request::Stats),
@@ -395,10 +412,22 @@ impl Request {
     #[must_use]
     pub fn to_json(&self) -> JsonValue {
         match self {
-            Request::Submit { tenant, spec } => JsonValue::object()
-                .with("op", JsonValue::Str("submit".to_owned()))
-                .with("tenant", JsonValue::Str(tenant.clone()))
-                .with("job", spec.to_json()),
+            Request::Submit {
+                tenant,
+                spec,
+                deadline_ms,
+            } => {
+                let doc = JsonValue::object()
+                    .with("op", JsonValue::Str("submit".to_owned()))
+                    .with("tenant", JsonValue::Str(tenant.clone()))
+                    .with("job", spec.to_json());
+                // Emitted only when set, so deadline-free submits keep
+                // their pre-deadline byte encoding.
+                match deadline_ms {
+                    Some(ms) => doc.with("deadline_ms", JsonValue::UInt(*ms)),
+                    None => doc,
+                }
+            }
             Request::Poll { id } => JsonValue::object()
                 .with("op", JsonValue::Str("poll".to_owned()))
                 .with("id", JsonValue::UInt(*id)),
@@ -533,6 +562,27 @@ impl Client {
         let response = self.request(&Request::Submit {
             tenant: tenant.to_owned(),
             spec: spec.clone(),
+            deadline_ms: None,
+        })?;
+        Ok(decode_submit(&response))
+    }
+
+    /// [`Client::submit`] with a per-request deadline in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only; protocol-level rejections are the
+    /// inner `Result`.
+    pub fn submit_with_deadline(
+        &mut self,
+        tenant: &str,
+        spec: &JobSpec,
+        deadline_ms: u64,
+    ) -> std::io::Result<Result<u64, WireError>> {
+        let response = self.request(&Request::Submit {
+            tenant: tenant.to_owned(),
+            spec: spec.clone(),
+            deadline_ms: Some(deadline_ms),
         })?;
         Ok(decode_submit(&response))
     }
@@ -654,6 +704,7 @@ mod tests {
                 seed: 7,
                 fabric: FabricSpec::default(),
             },
+            deadline_ms: None,
         }
         .to_json();
         let mut buf = Vec::new();
@@ -666,6 +717,32 @@ mod tests {
         let mut oversize = Vec::from((MAX_FRAME_BYTES + 1).to_le_bytes());
         oversize.extend_from_slice(b"xx");
         assert!(read_frame(&mut &oversize[..]).is_err());
+    }
+
+    #[test]
+    fn submit_deadline_round_trips_and_stays_optional() {
+        let spec = JobSpec::Random {
+            seed: 3,
+            fabric: FabricSpec::default(),
+        };
+        let with = Request::Submit {
+            tenant: "t0".to_owned(),
+            spec: spec.clone(),
+            deadline_ms: Some(250),
+        };
+        let parsed = Request::from_json(&with.to_json()).unwrap();
+        assert_eq!(parsed, with);
+        let without = Request::Submit {
+            tenant: "t0".to_owned(),
+            spec,
+            deadline_ms: None,
+        };
+        let rendered = without.to_json().render();
+        assert!(
+            !rendered.contains("deadline_ms"),
+            "a deadline-free submit keeps its pre-deadline encoding"
+        );
+        assert_eq!(Request::from_json(&without.to_json()).unwrap(), without);
     }
 
     #[test]

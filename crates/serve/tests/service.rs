@@ -41,6 +41,7 @@ fn warm_restart_answers_from_the_store() {
         workers: 1,
         per_tenant_depth: 16,
         store_path: Some(path.clone()),
+        ..ServeConfig::default()
     };
     let first_result = {
         let service =
@@ -81,6 +82,7 @@ fn socket_round_trip_submit_poll_result_stats() {
                 workers: 2,
                 per_tenant_depth: 32,
                 store_path: Some(path.clone()),
+                ..ServeConfig::default()
             },
             Arc::new(Runtime::new(1)),
         )

@@ -3,8 +3,10 @@
 //! * a kill/restart round-trip preserves the whole index;
 //! * a torn tail (crash mid-append) is detected, reported, trimmed,
 //!   and the log stays appendable;
-//! * a corrupted complete entry is a structured [`StoreError`] —
-//!   never a panic, never silently served.
+//! * a corrupted complete entry is *skipped and reported* — never a
+//!   panic, never silently served, and never fatal to its neighbours;
+//! * lost framing (garbage where a header should be) truncates the
+//!   rest of the log and is counted as torn bytes.
 
 use std::fs::OpenOptions;
 use std::io::{Read, Write};
@@ -12,7 +14,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use maeri_runtime::JobKey;
-use maeri_serve::store::{ResultStore, StoreError, StoredResult};
+use maeri_serve::store::{ResultStore, StoredResult};
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
 
@@ -57,6 +59,7 @@ fn restart_round_trip_preserves_the_index() {
     let (store, report) = ResultStore::open(&path).expect("reopen");
     assert_eq!(report.entries, 10, "every entry replays");
     assert_eq!(report.truncated_bytes, 0, "clean log has no torn tail");
+    assert_eq!(report.skipped, 0, "clean log skips nothing");
     assert_eq!(store.len(), 10);
     for i in 0..10u8 {
         let got = store.get(&key(i)).expect("key survives restart");
@@ -87,6 +90,7 @@ fn torn_tail_is_trimmed_and_the_log_stays_appendable() {
     let (store, report) = ResultStore::open(&path).expect("recovery");
     assert_eq!(report.entries, 2, "complete entries survive");
     assert_eq!(report.truncated_bytes, 15, "torn bytes are counted");
+    assert_eq!(report.skipped, 0);
     assert_eq!(store.get(&key(2)).expect("index intact").label, "keep2");
     // The torn tail was trimmed, so a new append lands on a clean
     // frame boundary and a further reopen sees all three entries.
@@ -103,34 +107,59 @@ fn torn_tail_is_trimmed_and_the_log_stays_appendable() {
 }
 
 #[test]
-fn corrupted_entry_is_a_structured_error_not_a_panic() {
+fn corrupted_entry_is_skipped_and_reported_not_fatal() {
     let path = temp_log("corrupt");
     {
         let (store, _) = ResultStore::open(&path).expect("fresh open");
         store.put(&key(1), &result("victim", 42)).expect("append");
+        store.put(&key(2), &result("survivor", 7)).expect("append");
     }
-    // Flip one byte in the middle of the entry's payload.
-    let mut bytes = Vec::new();
-    std::fs::File::open(&path)
-        .expect("open")
-        .read_to_end(&mut bytes)
-        .expect("read");
-    let mid = bytes.len() / 2;
-    bytes[mid] ^= 0xff;
-    std::fs::write(&path, &bytes).expect("write back");
-    let err = ResultStore::open(&path).expect_err("corruption must surface");
-    assert!(
-        matches!(err, StoreError::Corrupt { offset: 0, .. }),
-        "expected a structured corruption error, got {err}"
-    );
+    // Flip one byte in the middle of the *first* entry's payload; its
+    // length framing stays intact, so only that entry is lost.
+    let first_len = {
+        let mut bytes = Vec::new();
+        std::fs::File::open(&path)
+            .expect("open")
+            .read_to_end(&mut bytes)
+            .expect("read");
+        let total = bytes.len();
+        bytes[total / 4] ^= 0xff;
+        std::fs::write(&path, &bytes).expect("write back");
+        total
+    };
+    let (store, report) = ResultStore::open(&path).expect("corruption is survivable");
+    assert_eq!(report.skipped, 1, "the flipped entry is counted");
+    assert_eq!(report.entries, 1, "its neighbour replays");
+    assert_eq!(report.truncated_bytes, 0, "framing never broke");
+    assert!(store.get(&key(1)).is_none(), "corrupt data is never served");
+    assert_eq!(store.get(&key(2)).expect("survivor").label, "survivor");
+    // The store stays writable: re-running the victim job repairs it.
+    store
+        .put(&key(1), &result("victim", 42))
+        .expect("re-append over intact framing");
+    assert!(std::fs::metadata(&path).expect("stat").len() > first_len as u64);
+    drop(store);
+    let (store, report) = ResultStore::open(&path).expect("third open");
+    assert_eq!(report.entries, 2, "repair persisted");
+    assert_eq!(report.skipped, 1, "the dead entry still sits in the log");
+    assert_eq!(store.get(&key(1)).expect("repaired").label, "victim");
     let _ = std::fs::remove_file(&path);
 }
 
 #[test]
-fn garbage_prefix_is_rejected_as_corrupt() {
+fn garbage_prefix_truncates_as_lost_framing() {
     let path = temp_log("garbage");
     std::fs::write(&path, b"this is not a maeri store log at all....").expect("seed garbage");
-    let err = ResultStore::open(&path).expect_err("bad magic must surface");
-    assert!(matches!(err, StoreError::Corrupt { offset: 0, .. }));
+    let (store, report) = ResultStore::open(&path).expect("garbage is survivable");
+    assert_eq!(report.entries, 0);
+    assert_eq!(report.skipped, 0);
+    assert_eq!(report.truncated_bytes, 40, "the whole file is unframed");
+    assert!(store.is_empty());
+    // The garbage was trimmed: the log is a fresh, appendable file.
+    store.put(&key(9), &result("fresh", 1)).expect("append");
+    drop(store);
+    let (_, report) = ResultStore::open(&path).expect("reopen");
+    assert_eq!(report.entries, 1);
+    assert_eq!(report.truncated_bytes, 0);
     let _ = std::fs::remove_file(&path);
 }

@@ -23,6 +23,12 @@
 //!    top-level docs (README, ROADMAP, DESIGN, EXPERIMENTS) must exist
 //!    in the tree, so refactors cannot leave the docs pointing at
 //!    nothing.
+//! 6. **Chaos fault coverage** — every `FaultPoint` variant in
+//!    `crates/serve/src/chaos.rs` must be listed in `FaultPoint::ALL`,
+//!    carry a stable snake_case `name()` string, and be exercised by a
+//!    serve test or the `chaos_recovery` report (directly or via an
+//!    iteration over `FaultPoint::ALL`), so a new fault cannot ship
+//!    without the harness injecting it.
 
 /// One violated invariant: the offending path plus a human message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +58,7 @@ pub const UNWRAP_ALLOWLIST: &[&str] = &[
     "crates/bench/src/bin/mapcheck.rs",
     "crates/bench/src/experiments.rs",
     "crates/bench/src/reports/ablations.rs",
+    "crates/bench/src/reports/chaos_recovery.rs",
     "crates/bench/src/reports/energy.rs",
     "crates/bench/src/reports/fault_sweep.rs",
     "crates/bench/src/reports/figure13.rs",
@@ -71,6 +78,8 @@ pub const UNWRAP_ALLOWLIST: &[&str] = &[
     "crates/runtime/src/pool.rs",
     "crates/runtime/src/runtime.rs",
     "crates/runtime/src/supervise.rs",
+    "crates/serve/src/chaos.rs",
+    "crates/serve/src/journal.rs",
     "crates/serve/src/metrics.rs",
     "crates/serve/src/service.rs",
     "crates/serve/src/store.rs",
@@ -373,6 +382,127 @@ pub fn check_doc_paths(doc: &str, content: &str, exists: &dyn Fn(&str) -> bool) 
     findings
 }
 
+/// Lowercases a CamelCase identifier into the snake_case form used by
+/// `FaultPoint::name` (`KillMidDispatch` → `kill_mid_dispatch`).
+fn snake_case(ident: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in ident.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The variant identifiers of `pub enum FaultPoint` in `content`:
+/// lines inside the enum block that are bare identifiers ending in a
+/// comma (doc comments and attributes are skipped).
+fn fault_point_variants(content: &str) -> Vec<String> {
+    let Some(start) = content.find("pub enum FaultPoint") else {
+        return Vec::new();
+    };
+    let Some(open) = content[start..].find('{') else {
+        return Vec::new();
+    };
+    let body_start = start + open + 1;
+    let Some(close) = content[body_start..].find('}') else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    for line in content[body_start..body_start + close].lines() {
+        let t = line.trim();
+        let Some(name) = t.strip_suffix(',') else {
+            continue;
+        };
+        if !name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            variants.push(name.to_owned());
+        }
+    }
+    variants
+}
+
+/// The text of the `ALL` const array inside the chaos module (between
+/// `const ALL` and its closing `]`), so membership can be tested
+/// without matching unrelated mentions of a variant.
+fn fault_point_all_body(content: &str) -> &str {
+    let Some(start) = content.find("const ALL") else {
+        return "";
+    };
+    // Skip past the `=` so the `[FaultPoint; N]` type annotation is
+    // not mistaken for the initializer array.
+    let Some(eq) = content[start..].find('=') else {
+        return "";
+    };
+    let Some(open) = content[start + eq..].find('[') else {
+        return "";
+    };
+    let body_start = start + eq + open + 1;
+    match content[body_start..].find(']') {
+        Some(close) => &content[body_start..body_start + close],
+        None => "",
+    }
+}
+
+/// Check 6: every `FaultPoint` variant is registered in
+/// `FaultPoint::ALL`, carries its stable snake_case `name()` string,
+/// and is exercised by at least one coverage file (serve tests, the
+/// chaos module's own test block, the `chaos_recovery` report) —
+/// either by naming the variant / its snake_case string, or by
+/// iterating `FaultPoint::ALL`.
+pub fn check_fault_points(
+    path: &str,
+    chaos_content: &str,
+    coverage: &[(String, String)],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let variants = fault_point_variants(chaos_content);
+    if variants.is_empty() {
+        findings.push(Finding::new(
+            path,
+            "no `pub enum FaultPoint` variants found (the chaos harness lint needs them)",
+        ));
+        return findings;
+    }
+    let all_body = fault_point_all_body(chaos_content);
+    for variant in &variants {
+        let qualified = format!("FaultPoint::{variant}");
+        let snake = snake_case(variant);
+        let in_all = all_body.contains(&qualified);
+        if !in_all {
+            findings.push(Finding::new(
+                path,
+                format!("fault point `{variant}` is missing from `FaultPoint::ALL`"),
+            ));
+        }
+        if !chaos_content.contains(&format!("\"{snake}\"")) {
+            findings.push(Finding::new(
+                path,
+                format!("fault point `{variant}` has no stable `name()` string \"{snake}\""),
+            ));
+        }
+        let exercised = coverage.iter().any(|(_, c)| {
+            c.contains(&qualified)
+                || c.contains(&snake)
+                || (in_all && c.contains("FaultPoint::ALL"))
+        });
+        if !exercised {
+            findings.push(Finding::new(
+                path,
+                format!(
+                    "fault point `{variant}` is not exercised by any serve test or the \
+                     chaos_recovery report (inject it, or fold it into a `FaultPoint::ALL` sweep)"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +639,76 @@ pub const REPORTS: &[(usize, &str, fn())] = &[
         let doc = "Built from `src/lib.rs`; CI is `.github/workflows/ci.yml`.";
         let exists = |p: &str| p == "src/lib.rs" || p == ".github/workflows/ci.yml";
         assert_eq!(check_doc_paths("README.md", doc, &exists), vec![]);
+    }
+
+    const CHAOS_FIXTURE: &str = r#"
+pub enum FaultPoint {
+    /// Docs.
+    TornTail,
+    WedgedWorker,
+}
+impl FaultPoint {
+    pub const ALL: [FaultPoint; 2] = [
+        FaultPoint::TornTail,
+        FaultPoint::WedgedWorker,
+    ];
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::TornTail => "torn_tail",
+            FaultPoint::WedgedWorker => "wedged_worker",
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn fault_points_swept_via_all_pass() {
+        let coverage = pairs(&[(
+            "crates/serve/tests/chaos.rs",
+            "for fault in FaultPoint::ALL { run(fault); }",
+        )]);
+        assert_eq!(
+            check_fault_points("chaos.rs", CHAOS_FIXTURE, &coverage),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn unexercised_fault_point_is_flagged() {
+        let coverage = pairs(&[("crates/serve/tests/chaos.rs", "run(FaultPoint::TornTail);")]);
+        let findings = check_fault_points("chaos.rs", CHAOS_FIXTURE, &coverage);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("`WedgedWorker`"));
+        assert!(findings[0].message.contains("not exercised"));
+    }
+
+    #[test]
+    fn fault_point_outside_all_or_without_name_is_flagged() {
+        // `Extra` exists but is neither in ALL nor named, and the
+        // ALL sweep in coverage cannot reach it.
+        let src =
+            CHAOS_FIXTURE.replace("pub enum FaultPoint {", "pub enum FaultPoint {\n    Extra,");
+        let coverage = pairs(&[(
+            "crates/serve/tests/chaos.rs",
+            "for fault in FaultPoint::ALL { run(fault); }",
+        )]);
+        let findings = check_fault_points("chaos.rs", &src, &coverage);
+        assert!(findings.iter().any(|f| f
+            .message
+            .contains("`Extra` is missing from `FaultPoint::ALL`")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("no stable `name()` string \"extra\"")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("`Extra` is not exercised")));
+    }
+
+    #[test]
+    fn missing_fault_point_enum_is_flagged() {
+        let findings = check_fault_points("chaos.rs", "pub fn nothing() {}", &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no `pub enum FaultPoint`"));
     }
 
     #[test]

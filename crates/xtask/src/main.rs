@@ -3,8 +3,8 @@
 //! `lint` walks the workspace and enforces the invariants implemented
 //! in [`lint`] (probe-twin sync, the unwrap allowlist, report-registry
 //! contiguity, `#![forbid(unsafe_code)]` headers, dangling doc-path
-//! references). Exits non-zero with one line per finding so CI can
-//! gate on it.
+//! references, chaos fault-point coverage). Exits non-zero with one
+//! line per finding so CI can gate on it.
 
 mod lint;
 
@@ -130,6 +130,29 @@ fn run_lint() -> ExitCode {
         if let Ok(content) = std::fs::read_to_string(root.join(doc)) {
             findings.extend(lint::check_doc_paths(doc, &content, &exists));
         }
+    }
+
+    // 6. Every chaos fault point is exercised by a test or the
+    //    chaos_recovery report. Integration tests live under
+    //    `crates/serve/tests/` (outside the src/ scan scope), so they
+    //    are collected separately; the chaos module's own test block
+    //    and the report source also count as coverage.
+    let chaos_path = "crates/serve/src/chaos.rs";
+    match sources.iter().find(|(p, _)| p == chaos_path) {
+        Some((path, content)) => {
+            let mut coverage: Vec<(String, String)> = Vec::new();
+            collect_rs(&root, &root.join("crates/serve/tests"), &mut coverage);
+            for covered in [chaos_path, "crates/bench/src/reports/chaos_recovery.rs"] {
+                if let Some(pair) = sources.iter().find(|(p, _)| p == covered) {
+                    coverage.push(pair.clone());
+                }
+            }
+            findings.extend(lint::check_fault_points(path, content, &coverage));
+        }
+        None => findings.push(lint::Finding {
+            path: chaos_path.to_owned(),
+            message: "chaos harness module is missing".to_owned(),
+        }),
     }
 
     if findings.is_empty() {

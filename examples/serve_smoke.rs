@@ -26,6 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             workers: 2,
             per_tenant_depth: 64,
             store_path: Some(store_path.clone()),
+            ..ServeConfig::default()
         },
         Arc::new(Runtime::new(2)),
     )?);
