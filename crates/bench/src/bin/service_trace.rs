@@ -1,0 +1,6 @@
+//! Service trace: request-path spans over a seeded virtual-time replay
+//! (thin wrapper over `maeri_bench::reports::service_trace`).
+
+fn main() {
+    maeri_bench::reports::service_trace::run();
+}

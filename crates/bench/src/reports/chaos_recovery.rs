@@ -14,6 +14,9 @@
 //! structured outcomes — so the report is byte-identical on every
 //! host at every worker count.
 
+use std::time::Instant;
+
+use maeri_runtime::{PhaseStats, Runtime};
 use maeri_serve::chaos::{self, FaultPoint};
 use maeri_sim::table::Table;
 
@@ -30,6 +33,7 @@ const SEED: u64 = 0x0701;
 /// Panics if the scratch directory cannot be created — the report owns
 /// its own temp path.
 pub fn run() {
+    let phase_start = Instant::now();
     report::header(
         "Chaos recovery — crash-safe serving under fault injection",
         "Write-ahead admission journal, recovery replay, deadlines, and breaker quarantine",
@@ -73,6 +77,18 @@ pub fn run() {
     let resolved: u64 = outcomes.iter().map(|o| o.resolved).sum();
     let lost: u64 = outcomes.iter().map(|o| o.lost).sum();
     assert_eq!(lost, 0, "an acknowledged job was lost: {outcomes:?}");
+
+    // The scenarios run private services; attribute the report's wall
+    // time on the global runtime so `regen_all --json` surfaces it as
+    // a phase alongside the figure sweeps.
+    Runtime::global().note_phase(PhaseStats {
+        name: "chaos_recovery".to_owned(),
+        jobs: usize::try_from(acked).unwrap_or(0),
+        cache_hits: usize::try_from(outcomes.iter().map(|o| o.recovered_from_store).sum::<u64>())
+            .unwrap_or(0),
+        wall: phase_start.elapsed(),
+    });
+
     report::summary(&[
         format!(
             "{} fault points injected; {acked} acknowledged jobs, {resolved} resolved after \

@@ -21,6 +21,7 @@ pub mod figure17;
 pub mod headline;
 pub mod mapping_search;
 pub mod service_load;
+pub mod service_trace;
 pub mod table1;
 pub mod table3;
 pub mod telemetry_profile;
@@ -46,6 +47,7 @@ pub const REPORTS: &[(usize, &str, fn())] = &[
     (15, "mapping_search", mapping_search::run),
     (16, "service_load", service_load::run),
     (17, "chaos_recovery", chaos_recovery::run),
+    (18, "service_trace", service_trace::run),
 ];
 
 #[cfg(test)]
@@ -54,7 +56,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(REPORTS.len(), 17);
+        assert_eq!(REPORTS.len(), 18);
         let mut names: Vec<&str> = REPORTS.iter().map(|(_, n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();

@@ -17,8 +17,9 @@
 //! its deterministic counters are printed, never wall-clock time.
 
 use std::sync::Arc;
+use std::time::Instant;
 
-use maeri_runtime::Runtime;
+use maeri_runtime::{PhaseStats, Runtime};
 use maeri_serve::loadsim::{self, LoadOutcome, LoadScenario};
 use maeri_serve::service::{ServeConfig, Service};
 use maeri_serve::store::ResultStore;
@@ -73,6 +74,7 @@ fn phase_row(table: &mut Table, phase: &str, outcome: &LoadOutcome) {
 /// Panics if the scratch store directory cannot be created — the
 /// report owns its own temp path.
 pub fn run() {
+    let phase_start = Instant::now();
     report::header(
         "Service load — async batch-inference serving",
         "Section 7 workloads served through admission control and a persistent result cache",
@@ -184,6 +186,16 @@ pub fn run() {
     );
     drop(service);
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // The replays ran on private runtimes; attribute the report's wall
+    // time on the global one so `regen_all --json` surfaces it as a
+    // phase alongside the figure sweeps.
+    Runtime::global().note_phase(PhaseStats {
+        name: "service_load".to_owned(),
+        jobs: cold.arrivals + warm.arrivals + burst.arrivals + steady.len(),
+        cache_hits: cold.hits + warm.hits + usize::try_from(live.store_hits).unwrap_or(0),
+        wall: phase_start.elapsed(),
+    });
 
     report::summary(&[
         format!(

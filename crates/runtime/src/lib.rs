@@ -20,7 +20,13 @@
 //!   ([`JobKey`]) computes identical points once, across batches and
 //!   across callers sharing a [`Runtime`];
 //! * [`RuntimeMetrics`] counts jobs submitted/executed/failed, cache
-//!   hits, the queue high-water mark, and per-phase wall time.
+//!   hits, the queue high-water mark, and per-phase wall time;
+//! * the traced entry point
+//!   [`Runtime::run_one_traced_with_deadline`] additionally returns a
+//!   [`DispatchTrace`] — cache-hit flag plus one classified
+//!   [`AttemptRecord`] per supervised attempt — so the serving layer's
+//!   flight recorder can show retries, timeouts, and panics instead of
+//!   a single opaque dispatch interval.
 //!
 //! Determinism is a hard guarantee: [`Runtime::run_batch`] returns
 //! results **ordered by job index, never by completion order**, and
@@ -63,5 +69,5 @@ pub use cache::{CacheStats, ResultCache};
 pub use job::{Fidelity, JobKey, SimJob};
 pub use metrics::{MetricsSnapshot, PhaseStats, RuntimeMetrics};
 pub use output::{canonical_result_text, JobError, JobResult, SimOutput, TelemetryRun};
-pub use runtime::Runtime;
-pub use supervise::RetryPolicy;
+pub use runtime::{DispatchTrace, Runtime};
+pub use supervise::{AttemptOutcome, AttemptRecord, RetryPolicy};

@@ -14,7 +14,22 @@ use crate::job::{JobKey, SimJob};
 use crate::metrics::{MetricsSnapshot, PhaseStats, RuntimeMetrics};
 use crate::output::{JobResult, SimOutput};
 use crate::pool::WorkerPool;
-use crate::supervise::RetryPolicy;
+use crate::supervise::{AttemptRecord, RetryPolicy};
+
+/// Everything the serving layer needs to attribute one dispatch after
+/// the fact: whether the cache answered, and — for real executions —
+/// the timing and classification of every supervised attempt (see
+/// [`AttemptRecord`]). Produced by
+/// [`Runtime::run_one_traced_with_deadline`]; the untraced entry
+/// points never build one.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchTrace {
+    /// The cache answered; no attempt ran.
+    pub cache_hit: bool,
+    /// Per-attempt records in execution order, offsets measured from
+    /// dispatch start. Empty for cache hits.
+    pub attempts: Vec<AttemptRecord>,
+}
 
 /// Environment variable overriding the global runtime's worker count.
 pub const WORKERS_ENV: &str = "MAERI_RUNTIME_WORKERS";
@@ -135,6 +150,35 @@ impl Runtime {
         job: &SimJob,
         deadline: Option<std::time::Duration>,
     ) -> JobResult {
+        self.run_one_inner(job, deadline, &mut None).0
+    }
+
+    /// [`Runtime::run_one_with_deadline`], additionally returning a
+    /// [`DispatchTrace`] with per-attempt timing and classification.
+    /// The result (and every counter side effect) is identical to the
+    /// untraced call; only the trace is extra.
+    pub fn run_one_traced_with_deadline(
+        &self,
+        job: &SimJob,
+        deadline: Option<std::time::Duration>,
+    ) -> (JobResult, DispatchTrace) {
+        let mut attempts = Some(Vec::new());
+        let (result, cache_hit) = self.run_one_inner(job, deadline, &mut attempts);
+        (
+            result,
+            DispatchTrace {
+                cache_hit,
+                attempts: attempts.unwrap_or_default(),
+            },
+        )
+    }
+
+    fn run_one_inner(
+        &self,
+        job: &SimJob,
+        deadline: Option<std::time::Duration>,
+        attempts: &mut Option<Vec<AttemptRecord>>,
+    ) -> (JobResult, bool) {
         let start = Instant::now();
         let key = job.key();
         self.metrics.record_submitted(1);
@@ -147,7 +191,7 @@ impl Runtime {
             (hit, true)
         } else {
             // The supervisor records per-attempt executed/failed counts.
-            let result = crate::supervise::execute_supervised(job, &policy, &self.metrics);
+            let result = crate::supervise::execute_traced(job, &policy, &self.metrics, attempts);
             self.record_telemetry(&result);
             self.cache.insert(key, result.clone());
             (result, false)
@@ -158,7 +202,16 @@ impl Runtime {
             cache_hits: usize::from(hit),
             wall: start.elapsed(),
         });
-        result
+        (result, hit)
+    }
+
+    /// Appends an externally-measured phase to the metrics phase log —
+    /// the hook layers above the runtime use to account work the
+    /// runtime itself did not schedule (e.g. a report's virtual-time
+    /// load simulation or a chaos sweep), so `regen_all --json`
+    /// attributes their wall time alongside the batch phases.
+    pub fn note_phase(&self, stats: PhaseStats) {
+        self.metrics.record_phase(stats);
     }
 
     /// Accounts a freshly-executed result's fabric telemetry (cache

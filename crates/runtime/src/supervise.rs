@@ -16,11 +16,67 @@
 //!   the pool.
 
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::job::SimJob;
 use crate::metrics::RuntimeMetrics;
 use crate::output::{JobError, JobResult};
+
+/// How one supervised attempt ended, classified for observability:
+/// the serving layer's flight recorder stamps this on each `attempt`
+/// span instead of swallowing the distinction inside the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The attempt produced a result.
+    Ok,
+    /// The simulator rejected the job deterministically.
+    SimError,
+    /// The pre-flight verifier proved the mapping illegal.
+    InvalidMapping,
+    /// The attempt panicked and was caught.
+    Panic,
+    /// The watchdog abandoned the attempt past its budget.
+    Timeout,
+}
+
+impl AttemptOutcome {
+    /// Stable snake_case tag used as the span status string.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AttemptOutcome::Ok => "ok",
+            AttemptOutcome::SimError => "sim_error",
+            AttemptOutcome::InvalidMapping => "invalid_mapping",
+            AttemptOutcome::Panic => "panic",
+            AttemptOutcome::Timeout => "timeout",
+        }
+    }
+
+    fn classify(result: &JobResult) -> AttemptOutcome {
+        match result {
+            Ok(_) => AttemptOutcome::Ok,
+            Err(JobError::Sim(_)) => AttemptOutcome::SimError,
+            Err(JobError::InvalidMapping(_)) => AttemptOutcome::InvalidMapping,
+            Err(JobError::Panicked(_)) => AttemptOutcome::Panic,
+            Err(JobError::TimedOut(_)) => AttemptOutcome::Timeout,
+        }
+    }
+}
+
+/// One attempt's timing and classification, surfaced by the traced
+/// execution path. Offsets are relative to the start of the dispatch
+/// (the first attempt's `start_offset` is ~zero; later attempts start
+/// after earlier attempts plus any backoff sleeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// When the attempt started, measured from dispatch start.
+    pub start_offset: Duration,
+    /// How long the attempt ran (for a timeout: the watchdog budget,
+    /// since the wedged thread itself is abandoned unmeasured).
+    pub dur: Duration,
+}
 
 /// How hard the runtime fights transient failures before giving up.
 ///
@@ -79,9 +135,22 @@ pub(crate) fn execute_supervised(
     policy: &RetryPolicy,
     metrics: &RuntimeMetrics,
 ) -> JobResult {
+    execute_traced(job, policy, metrics, &mut None)
+}
+
+/// [`execute_supervised`], additionally appending one [`AttemptRecord`]
+/// per attempt to `attempts` when it is `Some` (the untraced path pays
+/// for no allocation and no clock reads beyond what it always did).
+pub(crate) fn execute_traced(
+    job: &SimJob,
+    policy: &RetryPolicy,
+    metrics: &RuntimeMetrics,
+    attempts: &mut Option<Vec<AttemptRecord>>,
+) -> JobResult {
+    let epoch = attempts.as_ref().map(|_| Instant::now());
     let budget = policy.max_attempts.max(1);
     let mut delay = policy.backoff;
-    let mut result = run_attempt(job, policy, metrics);
+    let mut result = traced_attempt(job, policy, metrics, epoch, attempts);
     for _ in 1..budget {
         match &result {
             Err(error) if error.is_transient() => {
@@ -90,10 +159,31 @@ pub(crate) fn execute_supervised(
                     std::thread::sleep(delay);
                     delay = delay.saturating_mul(2);
                 }
-                result = run_attempt(job, policy, metrics);
+                result = traced_attempt(job, policy, metrics, epoch, attempts);
             }
             _ => break,
         }
+    }
+    result
+}
+
+fn traced_attempt(
+    job: &SimJob,
+    policy: &RetryPolicy,
+    metrics: &RuntimeMetrics,
+    epoch: Option<Instant>,
+    attempts: &mut Option<Vec<AttemptRecord>>,
+) -> JobResult {
+    let start_offset = epoch.map(|e| e.elapsed());
+    let result = run_attempt(job, policy, metrics);
+    if let (Some(records), Some(epoch), Some(start_offset)) =
+        (attempts.as_mut(), epoch, start_offset)
+    {
+        records.push(AttemptRecord {
+            outcome: AttemptOutcome::classify(&result),
+            start_offset,
+            dur: epoch.elapsed().saturating_sub(start_offset),
+        });
     }
     result
 }
@@ -183,6 +273,48 @@ mod tests {
         let result = execute_supervised(&SimJob::wedge(5_000), &policy, &metrics);
         assert!(matches!(result, Err(JobError::TimedOut(_))));
         assert_eq!(metrics.snapshot().timeouts, 1);
+    }
+
+    #[test]
+    fn traced_execution_classifies_every_attempt() {
+        let metrics = RuntimeMetrics::new();
+        let policy = RetryPolicy::retrying(3, Duration::from_millis(1));
+        let mut attempts = Some(Vec::new());
+        let result = execute_traced(&SimJob::poison("flaky"), &policy, &metrics, &mut attempts);
+        assert!(matches!(result, Err(JobError::Panicked(_))));
+        let records = attempts.unwrap();
+        assert_eq!(records.len(), 3, "one record per attempt");
+        assert!(records.iter().all(|r| r.outcome == AttemptOutcome::Panic));
+        // Attempts are ordered and non-overlapping within the dispatch:
+        // each starts at or after the previous one ended.
+        for pair in records.windows(2) {
+            assert!(pair[1].start_offset >= pair[0].start_offset + pair[0].dur);
+        }
+        // The untraced path reports the identical result.
+        let bare = execute_supervised(&SimJob::poison("flaky"), &policy, &metrics);
+        assert_eq!(
+            AttemptOutcome::classify(&bare),
+            AttemptOutcome::Panic,
+            "classification is pure over the result"
+        );
+        let healthy = execute_supervised(&SimJob::health_check(), &policy, &metrics);
+        assert_eq!(AttemptOutcome::classify(&healthy), AttemptOutcome::Ok);
+    }
+
+    #[test]
+    fn attempt_outcome_names_are_stable() {
+        let all = [
+            AttemptOutcome::Ok,
+            AttemptOutcome::SimError,
+            AttemptOutcome::InvalidMapping,
+            AttemptOutcome::Panic,
+            AttemptOutcome::Timeout,
+        ];
+        let names: Vec<&str> = all.iter().map(|o| o.name()).collect();
+        assert_eq!(
+            names,
+            ["ok", "sim_error", "invalid_mapping", "panic", "timeout"]
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! shared MAERI evaluation box would actually be operated:
 //!
 //! * a framed-socket protocol ([`wire`]) — `u32` length-prefixed JSON
-//!   frames with `submit` / `poll` / `result` / `stats` ops over the
+//!   frames with `submit` / `poll` / `result` / `stats` / `metrics`
+//!   ops over the
 //!   existing [`maeri_runtime::SimJob`] vocabulary (conv, fc, lstm,
 //!   telemetry trace, mapping search, seeded random layers);
 //! * per-tenant fair scheduling and admission control ([`service`]):
@@ -33,7 +34,17 @@
 //! * a deterministic chaos harness ([`chaos`]): seeded fault injection
 //!   (torn journal tails, corrupted store records, wedged workers,
 //!   malformed wire frames, kills around the journal append) behind
-//!   the byte-stable `chaos_recovery` report.
+//!   the byte-stable `chaos_recovery` report;
+//! * a flight recorder ([`recorder`]): per-job request-path trace
+//!   spans (admission → verify → queue wait → dispatch/attempts →
+//!   persistence → reply, vocabulary in [`maeri_telemetry::span`]) in
+//!   a fixed-capacity ring with an eager crash-surviving span log, a
+//!   postmortem dump on [`service::Service::crash`], and Chrome-trace
+//!   export — off by default and byte-neutral to every report;
+//! * a time-series metrics registry ([`registry`]): windowed latency
+//!   histograms, per-tenant SLO scoring (deadline-hit rate, windowed
+//!   p99 vs target, error-budget burn), and Prometheus text
+//!   exposition served by the `metrics` wire verb.
 //!
 //! # Quick start
 //!
@@ -55,6 +66,8 @@ pub mod chaos;
 pub mod journal;
 pub mod loadsim;
 pub mod metrics;
+pub mod recorder;
+pub mod registry;
 pub mod server;
 pub mod service;
 pub mod store;
@@ -64,6 +77,8 @@ pub mod wire;
 pub use chaos::{ChaosOutcome, FaultPoint};
 pub use journal::{AdmitRecord, Journal, JournalRecovery, ReplaySummary};
 pub use metrics::{ServiceMetrics, ServiceSnapshot};
+pub use recorder::{FlightRecorder, Postmortem, RecorderConfig, SpanLog};
+pub use registry::{MetricsRegistry, SloConfig, SloTracker, TenantSlo, WindowedHistogram};
 pub use server::Server;
 pub use service::{JobStatus, JobTicket, ServeConfig, Service, SubmitError};
 pub use store::{RecoveryReport, ResultStore, StoreError, StoredResult};

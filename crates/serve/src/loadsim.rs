@@ -11,12 +11,18 @@
 //! percentiles, hit rates, and reject counts are then exact integers,
 //! identical on every machine and at every `MAERI_RUNTIME_WORKERS`
 //! setting.
+//!
+//! [`simulate_traced`] additionally emits the same request-path span
+//! vocabulary the live service records ([`maeri_telemetry::span`]),
+//! stamped with *virtual* timestamps — so the `service_trace` report
+//! can publish a byte-stable Chrome trace.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
-use maeri_runtime::{JobResult, Runtime};
+use maeri_runtime::{JobError, JobResult, Runtime};
 use maeri_sim::histogram::Histogram;
+use maeri_telemetry::span::{SpanKind, SpanRecord};
 
 use crate::store::{ResultStore, StoredResult};
 use crate::traffic::Arrival;
@@ -103,6 +109,53 @@ pub fn simulate(
     runtime: &Runtime,
     store: Option<&ResultStore>,
 ) -> LoadOutcome {
+    replay(arrivals, scenario, runtime, store, &mut None)
+}
+
+/// [`simulate`], additionally emitting one virtual-time trace span per
+/// request-path phase (verify → admission → queue wait → dispatch →
+/// reply, with job-0 sentinels for rejects, matching the live
+/// service's vocabulary). The returned outcome is bit-identical to
+/// what [`simulate`] produces for the same inputs — tracing observes
+/// the replay, it never steers it.
+#[must_use]
+pub fn simulate_traced(
+    arrivals: &[Arrival],
+    scenario: &LoadScenario,
+    runtime: &Runtime,
+    store: Option<&ResultStore>,
+) -> (LoadOutcome, Vec<SpanRecord>) {
+    let mut spans = Some(Vec::new());
+    let outcome = replay(arrivals, scenario, runtime, store, &mut spans);
+    (outcome, spans.unwrap_or_default())
+}
+
+/// A virtual-time span: start/end are virtual µs from the trace clock.
+fn vspan(
+    job: u64,
+    tenant: &str,
+    kind: SpanKind,
+    start_us: u64,
+    end_us: u64,
+    status: &str,
+) -> SpanRecord {
+    SpanRecord {
+        job,
+        tenant: tenant.to_owned(),
+        kind,
+        start_us,
+        dur_us: end_us.saturating_sub(start_us),
+        status: status.to_owned(),
+    }
+}
+
+fn replay(
+    arrivals: &[Arrival],
+    scenario: &LoadScenario,
+    runtime: &Runtime,
+    store: Option<&ResultStore>,
+    spans: &mut Option<Vec<SpanRecord>>,
+) -> LoadOutcome {
     let mut outcome = LoadOutcome {
         arrivals: arrivals.len(),
         admitted: 0,
@@ -124,12 +177,33 @@ pub fn simulate(
     let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
     for arrival in arrivals {
         let now = arrival.at_us;
+        let tenant = arrival.tenant.as_str();
         let Ok(job) = arrival.spec.to_sim_job() else {
             outcome.invalid += 1;
+            if let Some(out) = spans.as_mut() {
+                out.push(vspan(
+                    0,
+                    tenant,
+                    SpanKind::Verify,
+                    now,
+                    now,
+                    "rejected_invalid",
+                ));
+            }
             continue;
         };
         if job.verify().is_err() {
             outcome.invalid += 1;
+            if let Some(out) = spans.as_mut() {
+                out.push(vspan(
+                    0,
+                    tenant,
+                    SpanKind::Verify,
+                    now,
+                    now,
+                    "rejected_invalid",
+                ));
+            }
             continue;
         }
         let tenant_jobs = inflight.entry(arrival.tenant.clone()).or_default();
@@ -138,13 +212,24 @@ pub fn simulate(
         }
         if tenant_jobs.len() >= scenario.per_tenant_depth {
             outcome.rejected += 1;
+            if let Some(out) = spans.as_mut() {
+                out.push(vspan(0, tenant, SpanKind::Verify, now, now, "ok"));
+                out.push(vspan(
+                    0,
+                    tenant,
+                    SpanKind::Admission,
+                    now,
+                    now,
+                    "rejected_backpressure",
+                ));
+            }
             continue;
         }
         let key = job.key();
         let hit = store.is_some_and(|s| s.get(&key).is_some()) || seen.contains(key.as_bytes());
-        let cost = if hit {
+        let (cost, dispatch_status) = if hit {
             outcome.hits += 1;
-            scenario.hit_cost_us
+            (scenario.hit_cost_us, "ok")
         } else {
             let result = runtime.run_one(&job);
             if let Err(err) = &result {
@@ -159,7 +244,14 @@ pub fn simulate(
             }
             seen.insert(key.as_bytes().to_vec());
             outcome.misses += 1;
-            cost
+            let status = match &result {
+                Ok(_) => "ok",
+                Err(JobError::Sim(_)) => "sim_error",
+                Err(JobError::InvalidMapping(_)) => "invalid_mapping",
+                Err(JobError::Panicked(_)) => "panic",
+                Err(JobError::TimedOut(_)) => "timeout",
+            };
+            (cost, status)
         };
         let Reverse(free_at) = servers.pop().unwrap_or(Reverse(0));
         let start = now.max(free_at);
@@ -167,6 +259,31 @@ pub fn simulate(
         servers.push(Reverse(done));
         tenant_jobs.push_back(done);
         outcome.admitted += 1;
+        if let Some(out) = spans.as_mut() {
+            // Jobs are numbered in admission order, 1-based; 0 stays
+            // the reject sentinel, exactly as in the live service.
+            let id = outcome.admitted as u64;
+            let admit_status = if hit { "store_hit" } else { "ok" };
+            out.push(vspan(id, tenant, SpanKind::Verify, now, now, "ok"));
+            out.push(vspan(
+                id,
+                tenant,
+                SpanKind::Admission,
+                now,
+                now,
+                admit_status,
+            ));
+            out.push(vspan(id, tenant, SpanKind::QueueWait, now, start, "ok"));
+            out.push(vspan(
+                id,
+                tenant,
+                SpanKind::Dispatch,
+                start,
+                done,
+                dispatch_status,
+            ));
+            out.push(vspan(id, tenant, SpanKind::Reply, done, done, "ok"));
+        }
         outcome.latency_us.record(done - now);
         outcome.makespan_us = outcome.makespan_us.max(done);
     }
@@ -216,5 +333,56 @@ mod tests {
             "a single slow server at depth 3 must shed load"
         );
         assert_eq!(outcome.admitted + outcome.rejected, 60);
+    }
+
+    #[test]
+    fn tracing_is_outcome_neutral_and_spans_are_well_formed() {
+        let traffic = traffic::generate(&TrafficConfig {
+            seed: 3,
+            arrivals: 40,
+            tenants: 2,
+            mean_interarrival_us: 200,
+            random_fraction: 0.5,
+        });
+        let scenario = LoadScenario {
+            virtual_workers: 2,
+            per_tenant_depth: 4,
+            hit_cost_us: 25,
+        };
+        let plain = simulate(&traffic, &scenario, &Runtime::new(1), None);
+        let (traced, spans) = simulate_traced(&traffic, &scenario, &Runtime::new(1), None);
+        assert_eq!(plain, traced, "tracing must not steer the replay");
+        maeri_telemetry::span::validate_trace(&spans).unwrap();
+        // Every admitted job gets the full five-phase path.
+        let per_job = spans.iter().filter(|s| s.job != 0).count();
+        assert_eq!(per_job, traced.admitted * 5);
+        let replies = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Reply)
+            .map(|s| s.job)
+            .collect::<std::collections::HashSet<_>>();
+        assert_eq!(replies.len(), traced.admitted, "one reply per job");
+        // Rejects surface as job-0 sentinels, same as the live path.
+        let rejected_spans = spans
+            .iter()
+            .filter(|s| s.job == 0 && s.status == "rejected_backpressure")
+            .count();
+        assert_eq!(rejected_spans, traced.rejected);
+    }
+
+    #[test]
+    fn traced_replay_is_deterministic_across_worker_counts() {
+        let traffic = traffic::generate(&TrafficConfig {
+            seed: 11,
+            arrivals: 30,
+            tenants: 2,
+            mean_interarrival_us: 150,
+            random_fraction: 0.4,
+        });
+        let scenario = LoadScenario::default();
+        let (a, sa) = simulate_traced(&traffic, &scenario, &Runtime::new(1), None);
+        let (b, sb) = simulate_traced(&traffic, &scenario, &Runtime::new(4), None);
+        assert_eq!(a, b, "host worker count must not leak into the outcome");
+        assert_eq!(sa, sb, "host worker count must not leak into the trace");
     }
 }

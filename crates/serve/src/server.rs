@@ -149,6 +149,9 @@ fn dispatch(request: &Request, service: &Service) -> JsonValue {
         Request::Stats => JsonValue::object()
             .with("ok", JsonValue::Bool(true))
             .with("stats", service.stats().to_json()),
+        Request::Metrics => JsonValue::object()
+            .with("ok", JsonValue::Bool(true))
+            .with("metrics", JsonValue::Str(service.prometheus())),
     }
 }
 

@@ -40,10 +40,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use maeri_runtime::{JobError, Runtime, SimJob};
+use maeri_runtime::{DispatchTrace, JobError, JobResult, Runtime, SimJob};
+use maeri_telemetry::span::{SpanKind, SpanRecord};
 
 use crate::journal::{AdmitRecord, Journal, ReplaySummary};
 use crate::metrics::{ServiceMetrics, ServiceSnapshot};
+use crate::recorder::{FlightRecorder, RecorderConfig};
+use crate::registry::{MetricsRegistry, SloConfig, SloTracker};
 use crate::store::{RecoveryReport, ResultStore, StoreError, StoredResult};
 use crate::wire::JobSpec;
 
@@ -70,6 +73,16 @@ pub struct ServeConfig {
     /// How long an open breaker quarantines its tenant before letting
     /// one half-open probe through.
     pub breaker_cooldown: Duration,
+    /// Flight-recorder configuration; `None` (the default) disables
+    /// request-path tracing entirely — no spans are built, stamped,
+    /// or stored, so every byte-stable report is unaffected. Setting
+    /// `MAERI_TRACE=1` flips the *default* to a memory-only ring
+    /// ([`RecorderConfig::default`]) — CI uses this to prove tracing
+    /// never perturbs report output.
+    pub recorder: Option<RecorderConfig>,
+    /// The latency SLO completions are scored against (per tenant,
+    /// exposed through [`Service::prometheus`]).
+    pub slo: SloConfig,
 }
 
 impl Default for ServeConfig {
@@ -82,6 +95,10 @@ impl Default for ServeConfig {
             close_grace: Duration::from_secs(5),
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_millis(500),
+            recorder: std::env::var_os("MAERI_TRACE")
+                .filter(|v| v != "0")
+                .map(|_| RecorderConfig::default()),
+            slo: SloConfig::default(),
         }
     }
 }
@@ -204,9 +221,11 @@ struct Breaker {
     open_until: Option<Instant>,
 }
 
-/// One queued unit of work: ticket id, lowered job, and the optional
-/// per-request deadline that travels with it to the worker.
-type QueuedJob = (u64, SimJob, Option<Duration>);
+/// One queued unit of work: ticket id, lowered job, the optional
+/// per-request deadline that travels with it to the worker, and the
+/// recorder timestamp (µs) at which admission finished — the start of
+/// the job's `queue_wait` span (zero when tracing is off).
+type QueuedJob = (u64, SimJob, Option<Duration>, u64);
 
 struct Sched {
     /// Per-tenant queues in first-submit order; the ring is scanned
@@ -236,7 +255,7 @@ impl Sched {
         None
     }
 
-    fn enqueue(&mut self, tenant: &str, entry: (u64, SimJob, Option<Duration>)) {
+    fn enqueue(&mut self, tenant: &str, entry: QueuedJob) {
         if let Some((_, queue)) = self.queues.iter_mut().find(|(name, _)| name == tenant) {
             queue.push_back(entry);
         } else {
@@ -261,6 +280,65 @@ struct Shared {
     breaker_threshold: u32,
     breaker_cooldown: Duration,
     closing: AtomicBool,
+    recorder: Option<FlightRecorder>,
+    slo: SloTracker,
+}
+
+/// Builds one span on the live recorder clock.
+fn live_span(
+    job: u64,
+    tenant: &str,
+    kind: SpanKind,
+    start_us: u64,
+    end_us: u64,
+    status: &str,
+) -> SpanRecord {
+    SpanRecord {
+        job,
+        tenant: tenant.to_owned(),
+        kind,
+        start_us,
+        dur_us: end_us.saturating_sub(start_us),
+        status: status.to_owned(),
+    }
+}
+
+/// The two spans of a submit rejected after a clean verify: the
+/// verify phase, then an admission phase carrying the reject cause.
+fn reject_spans(
+    rec: &FlightRecorder,
+    tenant: &str,
+    t0: u64,
+    verify_end: u64,
+    cause: &str,
+) -> [SpanRecord; 2] {
+    [
+        live_span(0, tenant, SpanKind::Verify, t0, verify_end, "ok"),
+        live_span(
+            0,
+            tenant,
+            SpanKind::Admission,
+            verify_end,
+            rec.now_us(),
+            cause,
+        ),
+    ]
+}
+
+/// `Duration` to whole microseconds, saturating.
+fn us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The span status string classifying a dispatch outcome.
+fn outcome_status(result: &JobResult) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(JobError::Sim(_)) => "sim_error",
+        Err(JobError::InvalidMapping(_)) => "invalid_mapping",
+        Err(JobError::Panicked(_)) => "panic",
+        Err(JobError::TimedOut(_)) => "timeout",
+    }
 }
 
 /// The batch-inference simulation service.
@@ -301,6 +379,11 @@ impl Service {
             Some(path) => Some(Journal::open(path)?),
             None => None,
         };
+        let recorder = match &config.recorder {
+            Some(rc) => Some(FlightRecorder::open(rc)?),
+            None => None,
+        };
+        let replay_us = recorder.as_ref().map_or(0, FlightRecorder::now_us);
 
         let metrics = ServiceMetrics::new();
         let mut sched = Sched {
@@ -372,7 +455,12 @@ impl Service {
                     );
                     sched.enqueue(
                         &admit.tenant,
-                        (admit.id, job, admit.deadline_ms.map(Duration::from_millis)),
+                        (
+                            admit.id,
+                            job,
+                            admit.deadline_ms.map(Duration::from_millis),
+                            replay_us,
+                        ),
                     );
                     live.push(admit.clone());
                 }
@@ -397,6 +485,8 @@ impl Service {
             breaker_threshold: config.breaker_threshold,
             breaker_cooldown: config.breaker_cooldown,
             closing: AtomicBool::new(false),
+            recorder,
+            slo: SloTracker::new(config.slo),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -483,13 +573,41 @@ impl Service {
     ) -> Result<u64, SubmitError> {
         let metrics = &self.shared.metrics;
         metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        let rec = self.shared.recorder.as_ref();
+        let submit_started = Instant::now();
+        // Spans of rejected submits carry job id 0: rejection happens
+        // before an id is acknowledged, and concurrent rejects may
+        // interleave (the validator exempts id 0 from the per-job
+        // phase ordering for exactly this reason).
+        let t0 = rec.map_or(0, FlightRecorder::now_us);
         if self.shared.closing.load(Ordering::Relaxed) {
+            if let Some(rec) = rec {
+                rec.record(&live_span(
+                    0,
+                    tenant,
+                    SpanKind::Admission,
+                    t0,
+                    rec.now_us(),
+                    "closed",
+                ));
+            }
             return Err(SubmitError::Closed);
         }
         if let Err(err) = job.verify() {
             metrics.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            if let Some(rec) = rec {
+                rec.record(&live_span(
+                    0,
+                    tenant,
+                    SpanKind::Verify,
+                    t0,
+                    rec.now_us(),
+                    "rejected_invalid",
+                ));
+            }
             return Err(SubmitError::InvalidMapping(err.canonical_text()));
         }
+        let verify_end = rec.map_or(0, FlightRecorder::now_us);
         let label = job.label();
         // Store fast path: answer content-addressed repeats without a
         // queue slot (and without a journal record — nothing is owed).
@@ -501,6 +619,19 @@ impl Service {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut sched = self.shared.sched.lock().expect("scheduler mutex poisoned");
         if sched.shutdown {
+            if let Some(rec) = rec {
+                rec.record_batch(&[
+                    live_span(0, tenant, SpanKind::Verify, t0, verify_end, "ok"),
+                    live_span(
+                        0,
+                        tenant,
+                        SpanKind::Admission,
+                        verify_end,
+                        rec.now_us(),
+                        "closed",
+                    ),
+                ]);
+            }
             return Err(SubmitError::Closed);
         }
         if let Some(result) = stored {
@@ -511,7 +642,8 @@ impl Service {
                 .completion_counter
                 .fetch_add(1, Ordering::Relaxed)
                 + 1;
-            let status = if result.ok {
+            let ok = result.ok;
+            let status = if ok {
                 JobStatus::Done
             } else {
                 JobStatus::Failed
@@ -527,6 +659,31 @@ impl Service {
                     submitted_at: Instant::now(),
                 },
             );
+            let latency_us =
+                u64::try_from(submit_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.shared.slo.observe(tenant, latency_us, ok);
+            if let Some(rec) = rec {
+                let answered = rec.now_us();
+                rec.record_batch(&[
+                    live_span(id, tenant, SpanKind::Verify, t0, verify_end, "ok"),
+                    live_span(
+                        id,
+                        tenant,
+                        SpanKind::Admission,
+                        verify_end,
+                        answered,
+                        "store_hit",
+                    ),
+                    live_span(
+                        id,
+                        tenant,
+                        SpanKind::Reply,
+                        answered,
+                        rec.now_us(),
+                        if ok { "ok" } else { "error" },
+                    ),
+                ]);
+            }
             drop(sched);
             self.shared.job_done.notify_all();
             return Ok(id);
@@ -545,6 +702,15 @@ impl Service {
                             metrics.breaker_half_open.fetch_add(1, Ordering::Relaxed);
                         } else {
                             metrics.rejected_circuit.fetch_add(1, Ordering::Relaxed);
+                            if let Some(rec) = rec {
+                                rec.record_batch(&reject_spans(
+                                    rec,
+                                    tenant,
+                                    t0,
+                                    verify_end,
+                                    "rejected_circuit",
+                                ));
+                            }
                             return Err(SubmitError::CircuitOpen {
                                 tenant: tenant.to_owned(),
                             });
@@ -552,6 +718,15 @@ impl Service {
                     }
                     BreakerState::HalfOpen => {
                         metrics.rejected_circuit.fetch_add(1, Ordering::Relaxed);
+                        if let Some(rec) = rec {
+                            rec.record_batch(&reject_spans(
+                                rec,
+                                tenant,
+                                t0,
+                                verify_end,
+                                "rejected_circuit",
+                            ));
+                        }
                         return Err(SubmitError::CircuitOpen {
                             tenant: tenant.to_owned(),
                         });
@@ -565,6 +740,15 @@ impl Service {
             metrics
                 .rejected_backpressure
                 .fetch_add(1, Ordering::Relaxed);
+            if let Some(rec) = rec {
+                rec.record_batch(&reject_spans(
+                    rec,
+                    tenant,
+                    t0,
+                    verify_end,
+                    "rejected_backpressure",
+                ));
+            }
             return Err(SubmitError::Backpressure {
                 tenant: tenant.to_owned(),
                 depth: self.config.per_tenant_depth,
@@ -577,19 +761,33 @@ impl Service {
         // caller sees the id. Appending under the scheduler lock keeps
         // journal order consistent with admission order (a worker
         // cannot tombstone this id before its admit is on disk).
+        let admit_decided = rec.map_or(0, FlightRecorder::now_us);
+        let mut journal_span: Option<SpanRecord> = None;
         if let (Some(journal), Some(spec)) = (&self.shared.journal, journal_spec) {
+            let j_start = rec.map_or(0, FlightRecorder::now_us);
             let record = AdmitRecord {
                 id,
                 tenant: tenant.to_owned(),
                 deadline_ms,
                 spec: spec.clone(),
             };
-            if journal.append_admit(&record).is_ok() {
+            let appended = journal.append_admit(&record).is_ok();
+            if appended {
                 metrics.journal_appends.fetch_add(1, Ordering::Relaxed);
             } else {
                 metrics
                     .journal_append_errors
                     .fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(rec) = rec {
+                journal_span = Some(live_span(
+                    id,
+                    tenant,
+                    SpanKind::JournalAppend,
+                    j_start,
+                    rec.now_us(),
+                    if appended { "ok" } else { "error" },
+                ));
             }
         }
         sched.tickets.insert(
@@ -603,7 +801,34 @@ impl Service {
                 submitted_at: Instant::now(),
             },
         );
-        sched.enqueue(tenant, (id, job, deadline_ms.map(Duration::from_millis)));
+        // Record the admission spans while still holding the scheduler
+        // lock: a worker cannot pop this job (and emit its queue_wait
+        // span) before the enqueue below is visible, so each job's
+        // spans land in phase order, and the span log is flushed
+        // before the caller is acknowledged — the durability the
+        // SIGKILL postmortem contract rests on.
+        let admit_end = if let Some(rec) = rec {
+            let mut spans = vec![
+                live_span(id, tenant, SpanKind::Verify, t0, verify_end, "ok"),
+                live_span(
+                    id,
+                    tenant,
+                    SpanKind::Admission,
+                    verify_end,
+                    admit_decided,
+                    "ok",
+                ),
+            ];
+            spans.extend(journal_span);
+            rec.record_batch(&spans);
+            rec.now_us()
+        } else {
+            0
+        };
+        sched.enqueue(
+            tenant,
+            (id, job, deadline_ms.map(Duration::from_millis), admit_end),
+        );
         drop(sched);
         self.shared.work_ready.notify_one();
         Ok(id)
@@ -676,6 +901,195 @@ impl Service {
         &self.shared.runtime
     }
 
+    /// The flight recorder, when [`ServeConfig::recorder`] enabled one.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.shared.recorder.as_ref()
+    }
+
+    /// The per-tenant SLO tracker (always on; scoring one completion
+    /// is a histogram record, not a trace).
+    #[must_use]
+    pub fn slo(&self) -> &SloTracker {
+        &self.shared.slo
+    }
+
+    /// The service's full metric surface rendered as Prometheus text
+    /// exposition — every admission/completion counter, queue and
+    /// latency gauges, recorder occupancy, and the per-tenant SLO
+    /// scorecard. This is the body of the `metrics` wire verb.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        let snap = self.stats();
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "maeri_submitted_total",
+            "Submit requests received, including rejected ones.",
+            snap.submitted,
+        );
+        reg.counter(
+            "maeri_admitted_total",
+            "Jobs accepted into the queue or answered from the store.",
+            snap.admitted,
+        );
+        let rejects = "Submits rejected, by cause.";
+        reg.labeled_counter(
+            "maeri_rejected_total",
+            rejects,
+            &[("cause", "backpressure")],
+            snap.rejected_backpressure,
+        );
+        reg.labeled_counter(
+            "maeri_rejected_total",
+            rejects,
+            &[("cause", "invalid")],
+            snap.rejected_invalid,
+        );
+        reg.labeled_counter(
+            "maeri_rejected_total",
+            rejects,
+            &[("cause", "circuit_open")],
+            snap.rejected_circuit,
+        );
+        reg.counter(
+            "maeri_store_hits_total",
+            "Jobs answered from the persistent store at admission.",
+            snap.store_hits,
+        );
+        reg.counter(
+            "maeri_completed_total",
+            "Jobs that ran to a successful result.",
+            snap.completed,
+        );
+        reg.counter(
+            "maeri_failed_total",
+            "Jobs that ran to a structured error.",
+            snap.failed,
+        );
+        reg.counter(
+            "maeri_timeouts_total",
+            "Watchdog or deadline timeouts (a subset of failed).",
+            snap.timeouts,
+        );
+        reg.counter(
+            "maeri_journal_appends_total",
+            "Durable write-ahead journal appends.",
+            snap.journal_appends,
+        );
+        reg.counter(
+            "maeri_journal_append_errors_total",
+            "Journal appends that failed.",
+            snap.journal_append_errors,
+        );
+        reg.counter(
+            "maeri_store_put_errors_total",
+            "Persistent-store appends that failed.",
+            snap.store_put_errors,
+        );
+        reg.counter(
+            "maeri_cache_hits_total",
+            "Runtime result-cache hits.",
+            snap.cache.hits,
+        );
+        reg.counter(
+            "maeri_cache_misses_total",
+            "Runtime result-cache misses.",
+            snap.cache.misses,
+        );
+        reg.gauge(
+            "maeri_queue_depth",
+            "Jobs queued or running right now.",
+            snap.queue_depth as f64,
+        );
+        reg.gauge(
+            "maeri_queue_high_water",
+            "Queue-depth high-water mark.",
+            snap.queue_high_water as f64,
+        );
+        reg.gauge(
+            "maeri_store_entries",
+            "Results in the persistent store.",
+            snap.store_entries as f64,
+        );
+        let latency = "Wall completion latency percentiles, microseconds.";
+        reg.labeled_gauge(
+            "maeri_latency_us",
+            latency,
+            &[("quantile", "0.5")],
+            snap.latency_p50_us as f64,
+        );
+        reg.labeled_gauge(
+            "maeri_latency_us",
+            latency,
+            &[("quantile", "0.99")],
+            snap.latency_p99_us as f64,
+        );
+        reg.labeled_gauge(
+            "maeri_latency_us",
+            latency,
+            &[("quantile", "0.999")],
+            snap.latency_p999_us as f64,
+        );
+        if let Some(rec) = &self.shared.recorder {
+            reg.gauge(
+                "maeri_recorder_spans",
+                "Spans currently held in the flight-recorder ring.",
+                rec.len() as f64,
+            );
+            reg.counter(
+                "maeri_recorder_dropped_total",
+                "Spans evicted from the flight-recorder ring.",
+                rec.dropped(),
+            );
+        }
+        let slo = self.shared.slo.config();
+        reg.gauge(
+            "maeri_slo_target_p99_us",
+            "Latency target completions are scored against, microseconds.",
+            slo.target_p99_us as f64,
+        );
+        for tenant in self.shared.slo.report() {
+            let labels = [("tenant", tenant.tenant.as_str())];
+            reg.labeled_counter(
+                "maeri_slo_completions_total",
+                "Completions scored against the SLO, per tenant.",
+                &labels,
+                tenant.completed,
+            );
+            reg.labeled_counter(
+                "maeri_slo_deadline_hits_total",
+                "Completions that hit the SLO (successful, within target).",
+                &labels,
+                tenant.deadline_hits,
+            );
+            reg.labeled_counter(
+                "maeri_slo_deadline_misses_total",
+                "Completions that missed the SLO (failed or over target).",
+                &labels,
+                tenant.deadline_misses,
+            );
+            reg.labeled_gauge(
+                "maeri_slo_deadline_hit_ratio",
+                "Deadline hits over completions, per tenant.",
+                &labels,
+                tenant.hit_rate,
+            );
+            reg.labeled_gauge(
+                "maeri_slo_window_p99_us",
+                "Windowed p99 latency vs the target, per tenant.",
+                &labels,
+                tenant.window_p99_us as f64,
+            );
+            reg.labeled_gauge(
+                "maeri_slo_budget_burn",
+                "Recent miss fraction over the error budget, per tenant.",
+                &labels,
+                tenant.budget_burn,
+            );
+        }
+        reg.render()
+    }
+
     /// Stops accepting work, waits up to [`ServeConfig::close_grace`]
     /// for queued and running jobs to finish, abandons whatever is
     /// still queued past the grace (journaled jobs are re-run by the
@@ -688,9 +1102,14 @@ impl Service {
     /// threads: running jobs finish (a thread cannot be killed), but
     /// everything queued is abandoned on the spot. The chaos harness
     /// and the crash-recovery tests use this to orphan admitted work
-    /// deterministically.
+    /// deterministically. When the flight recorder has a postmortem
+    /// path configured, the ring is dumped to it as the last act (a
+    /// graceful [`Service::shutdown`] writes no dump — nothing died).
     pub fn crash(&self) {
         self.shutdown_with_grace(Duration::ZERO);
+        if let Some(rec) = &self.shared.recorder {
+            let _ = rec.postmortem_dump();
+        }
     }
 
     fn shutdown_with_grace(&self, grace: Duration) {
@@ -741,7 +1160,7 @@ impl Drop for Service {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (id, job, deadline) = {
+        let ((id, job, deadline, admit_us), tenant) = {
             let mut sched = shared.sched.lock().expect("scheduler mutex poisoned");
             loop {
                 // Shutdown outranks the queue: past the grace period
@@ -750,10 +1169,14 @@ fn worker_loop(shared: &Shared) {
                     return;
                 }
                 if let Some(work) = sched.next_job() {
-                    if let Some(ticket) = sched.tickets.get_mut(&work.0) {
-                        ticket.status = JobStatus::Running;
-                    }
-                    break work;
+                    let tenant = match sched.tickets.get_mut(&work.0) {
+                        Some(ticket) => {
+                            ticket.status = JobStatus::Running;
+                            ticket.tenant.clone()
+                        }
+                        None => String::new(),
+                    };
+                    break (work, tenant);
                 }
                 sched = shared
                     .work_ready
@@ -761,9 +1184,47 @@ fn worker_loop(shared: &Shared) {
                     .expect("scheduler mutex poisoned");
             }
         };
-        let result = shared.runtime.run_one_with_deadline(&job, deadline);
+        let rec = shared.recorder.as_ref();
+        let dispatch_start = rec.map_or(0, FlightRecorder::now_us);
+        let (result, dispatch) = match rec {
+            Some(_) => shared.runtime.run_one_traced_with_deadline(&job, deadline),
+            None => (
+                shared.runtime.run_one_with_deadline(&job, deadline),
+                DispatchTrace::default(),
+            ),
+        };
+        let dispatch_end = rec.map_or(0, FlightRecorder::now_us);
         let timed_out = matches!(&result, Err(JobError::TimedOut(_)));
         let stored = StoredResult::from_result(&job.label(), &result);
+        let mut spans: Vec<SpanRecord> = Vec::new();
+        if rec.is_some() {
+            spans.push(live_span(
+                id,
+                &tenant,
+                SpanKind::QueueWait,
+                admit_us,
+                dispatch_start,
+                "ok",
+            ));
+            spans.push(live_span(
+                id,
+                &tenant,
+                SpanKind::Dispatch,
+                dispatch_start,
+                dispatch_end,
+                outcome_status(&result),
+            ));
+            for attempt in &dispatch.attempts {
+                spans.push(SpanRecord {
+                    job: id,
+                    tenant: tenant.clone(),
+                    kind: SpanKind::Attempt,
+                    start_us: dispatch_start + us(attempt.start_offset),
+                    dur_us: us(attempt.dur),
+                    status: attempt.outcome.name().to_owned(),
+                });
+            }
+        }
         // Persist deterministic outcomes only: a panic or timeout may
         // succeed on the next submit, so it must not be replayable.
         let deterministic = match &result {
@@ -772,11 +1233,23 @@ fn worker_loop(shared: &Shared) {
         };
         if deterministic {
             if let Some(store) = &shared.store {
-                if store.put(&job.key(), &stored).is_err() {
+                let put_start = rec.map_or(0, FlightRecorder::now_us);
+                let put_ok = store.put(&job.key(), &stored).is_ok();
+                if !put_ok {
                     shared
                         .metrics
                         .store_put_errors
                         .fetch_add(1, Ordering::Relaxed);
+                }
+                if let Some(rec) = rec {
+                    spans.push(live_span(
+                        id,
+                        &tenant,
+                        SpanKind::StorePut,
+                        put_start,
+                        rec.now_us(),
+                        if put_ok { "ok" } else { "error" },
+                    ));
                 }
             }
         }
@@ -786,7 +1259,9 @@ fn worker_loop(shared: &Shared) {
         // lost. Transient outcomes are tombstoned too — the caller got
         // a structured answer, so the job is not an orphan.
         if let Some(journal) = &shared.journal {
-            if journal.append_tombstone(id).is_ok() {
+            let tomb_start = rec.map_or(0, FlightRecorder::now_us);
+            let tomb_ok = journal.append_tombstone(id).is_ok();
+            if tomb_ok {
                 shared
                     .metrics
                     .journal_appends
@@ -797,8 +1272,20 @@ fn worker_loop(shared: &Shared) {
                     .journal_append_errors
                     .fetch_add(1, Ordering::Relaxed);
             }
+            if let Some(rec) = rec {
+                spans.push(live_span(
+                    id,
+                    &tenant,
+                    SpanKind::JournalAppend,
+                    tomb_start,
+                    rec.now_us(),
+                    if tomb_ok { "ok" } else { "error" },
+                ));
+            }
         }
+        let reply_start = rec.map_or(0, FlightRecorder::now_us);
         let seq = shared.completion_counter.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut latency_us: Option<u64> = None;
         {
             let mut sched = shared.sched.lock().expect("scheduler mutex poisoned");
             if let Some(ticket) = sched.tickets.get_mut(&id) {
@@ -814,9 +1301,9 @@ fn worker_loop(shared: &Shared) {
                 if let Some(count) = sched.inflight.get_mut(&tenant) {
                     *count = count.saturating_sub(1);
                 }
-                shared
-                    .metrics
-                    .job_finished(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+                let wall_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+                latency_us = Some(wall_us);
+                shared.metrics.job_finished(wall_us);
                 if shared.breaker_threshold > 0 {
                     let breaker = sched.breakers.entry(tenant).or_default();
                     if timed_out {
@@ -853,6 +1340,23 @@ fn worker_loop(shared: &Shared) {
             shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
         } else {
             shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(wall_us) = latency_us {
+            shared.slo.observe(&tenant, wall_us, stored.ok);
+        }
+        // The reply span closes the job's trace; record the worker's
+        // whole batch before waking waiters so a crash() right after
+        // wait() returns still finds the full trace in the ring.
+        if let Some(rec) = rec {
+            spans.push(live_span(
+                id,
+                &tenant,
+                SpanKind::Reply,
+                reply_start,
+                rec.now_us(),
+                if stored.ok { "ok" } else { "error" },
+            ));
+            rec.record_batch(&spans);
         }
         shared.job_done.notify_all();
     }

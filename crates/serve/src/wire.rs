@@ -9,6 +9,7 @@
 //! {"op":"poll","id":7}                        -> {"ok":true,"id":7,"status":"done"}
 //! {"op":"result","id":7}                      -> {"ok":true,"id":7,"result":{...}}
 //! {"op":"stats"}                              -> {"ok":true,"stats":{...}}
+//! {"op":"metrics"}                            -> {"ok":true,"metrics":"# HELP ..."}
 //! ```
 //!
 //! A submit may carry an optional `"deadline_ms":N` field: the runtime
@@ -359,6 +360,9 @@ pub enum Request {
     },
     /// Fetch the service metrics snapshot.
     Stats,
+    /// Fetch the Prometheus text exposition (counters, gauges,
+    /// latency quantiles, per-tenant SLO series).
+    Metrics,
 }
 
 impl Request {
@@ -404,6 +408,7 @@ impl Request {
             "poll" => Ok(Request::Poll { id: id()? }),
             "result" => Ok(Request::Fetch { id: id()? }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             other => Err(format!("unknown op `{other}`")),
         }
     }
@@ -435,6 +440,9 @@ impl Request {
                 .with("op", JsonValue::Str("result".to_owned()))
                 .with("id", JsonValue::UInt(*id)),
             Request::Stats => JsonValue::object().with("op", JsonValue::Str("stats".to_owned())),
+            Request::Metrics => {
+                JsonValue::object().with("op", JsonValue::Str("metrics".to_owned()))
+            }
         }
     }
 }
@@ -604,6 +612,25 @@ impl Client {
                 std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     format!("poll failed: {}", response.render()),
+                )
+            })
+    }
+
+    /// Fetches the Prometheus text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `InvalidData` on a malformed response.
+    pub fn metrics_text(&mut self) -> std::io::Result<String> {
+        let response = self.request(&Request::Metrics)?;
+        response
+            .get("metrics")
+            .and_then(JsonValue::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("metrics failed: {}", response.render()),
                 )
             })
     }

@@ -93,6 +93,20 @@ impl Histogram {
         self.percentile(50.0)
     }
 
+    /// Folds every sample of `other` into `self`, leaving `other`
+    /// untouched. Merging is how windowed time-series aggregation
+    /// combines a completed window with the currently-filling one
+    /// without rebuilding either from scratch; the result is exactly
+    /// the histogram that recording both sample streams into one
+    /// instance would have produced.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Buckets the samples into `count` equal-width ranges over
     /// `[min, max]`, returning `(range_start, samples_in_bucket)`.
     ///
@@ -185,6 +199,41 @@ mod tests {
         let total: usize = buckets.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 5);
         assert_eq!(buckets[0].1, 5);
+    }
+
+    #[test]
+    fn merge_matches_recording_both_streams() {
+        let mut left: Histogram = [5u64, 1, 9].into_iter().collect();
+        let right: Histogram = [3u64, 7, 2, 8].into_iter().collect();
+        let mut combined: Histogram = [5u64, 1, 9, 3, 7, 2, 8].into_iter().collect();
+        left.merge(&right);
+        assert_eq!(left.len(), 7);
+        assert_eq!(left.median(), combined.median());
+        assert_eq!(left.percentile(99.0), combined.percentile(99.0));
+        assert_eq!(left.min(), Some(1));
+        assert_eq!(left.max(), Some(9));
+        // The source histogram is untouched.
+        assert_eq!(right.len(), 4);
+    }
+
+    #[test]
+    fn merge_resorts_a_previously_sorted_histogram() {
+        let mut h: Histogram = [10u64, 20, 30].into_iter().collect();
+        assert_eq!(h.median(), Some(20)); // forces the lazy sort
+        h.merge(&[1u64, 2].into_iter().collect());
+        assert_eq!(h.median(), Some(10), "merged samples must re-sort");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut h: Histogram = [4u64, 6].into_iter().collect();
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty.len(), 2);
+        assert_eq!(empty.median(), Some(4));
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //!   the full event stream and exports it as Chrome trace-event JSON
 //!   loadable in `chrome://tracing` / `ui.perfetto.dev`.
 //!
+//! The [`span`] module lifts the same trace-export machinery one
+//! level up, from fabric cycles to *service request phases*: a closed
+//! [`SpanKind`] catalog (admission → verify → queue wait → dispatch →
+//! attempts → persistence → reply), [`SpanRecord`] intervals, a
+//! per-job monotonicity validator, and a Chrome export sharing the
+//! document shape of [`ChromeTraceSink`]. The serving stack's flight
+//! recorder produces those spans; this crate owns their vocabulary so
+//! recorder, load simulator, and reports all agree on it.
+//!
 //! # Example
 //!
 //! ```
@@ -48,8 +57,10 @@ mod fabric;
 mod sink;
 
 pub mod json;
+pub mod span;
 
 pub use chrome::ChromeTraceSink;
 pub use event::TraceEvent;
 pub use fabric::FabricTelemetry;
 pub use sink::{CountingSink, NullSink, TelemetrySink, TraceSink};
+pub use span::{SpanKind, SpanRecord};

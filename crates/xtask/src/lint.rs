@@ -29,6 +29,13 @@
 //!    serve test or the `chaos_recovery` report (directly or via an
 //!    iteration over `FaultPoint::ALL`), so a new fault cannot ship
 //!    without the harness injecting it.
+//! 7. **Span-kind catalog coverage** — every `SpanKind` variant in
+//!    `crates/telemetry/src/span.rs` must be listed in
+//!    `SpanKind::ALL`, carry a stable snake_case `name()` string, be
+//!    emitted somewhere in the serving stack (`crates/serve/src`,
+//!    `crates/runtime/src`), and be exercised by a serve test or the
+//!    `service_trace` report — so the trace vocabulary, its emitters,
+//!    and its tests cannot drift apart.
 
 /// One violated invariant: the offending path plus a human message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +72,7 @@ pub const UNWRAP_ALLOWLIST: &[&str] = &[
     "crates/bench/src/reports/figure16.rs",
     "crates/bench/src/reports/mapping_search.rs",
     "crates/bench/src/reports/service_load.rs",
+    "crates/bench/src/reports/service_trace.rs",
     "crates/bench/src/reports/telemetry_profile.rs",
     "crates/dnn/src/tensor.rs",
     "crates/maeri/src/art.rs",
@@ -81,6 +89,8 @@ pub const UNWRAP_ALLOWLIST: &[&str] = &[
     "crates/serve/src/chaos.rs",
     "crates/serve/src/journal.rs",
     "crates/serve/src/metrics.rs",
+    "crates/serve/src/recorder.rs",
+    "crates/serve/src/registry.rs",
     "crates/serve/src/service.rs",
     "crates/serve/src/store.rs",
     "crates/telemetry/src/json.rs",
@@ -399,11 +409,12 @@ fn snake_case(ident: &str) -> String {
     out
 }
 
-/// The variant identifiers of `pub enum FaultPoint` in `content`:
-/// lines inside the enum block that are bare identifiers ending in a
-/// comma (doc comments and attributes are skipped).
-fn fault_point_variants(content: &str) -> Vec<String> {
-    let Some(start) = content.find("pub enum FaultPoint") else {
+/// The variant identifiers of the plain (fieldless) enum declared as
+/// `decl` in `content`: lines inside the enum block that are bare
+/// identifiers ending in a comma (doc comments and attributes are
+/// skipped).
+fn plain_enum_variants(content: &str, decl: &str) -> Vec<String> {
+    let Some(start) = content.find(decl) else {
         return Vec::new();
     };
     let Some(open) = content[start..].find('{') else {
@@ -424,6 +435,11 @@ fn fault_point_variants(content: &str) -> Vec<String> {
         }
     }
     variants
+}
+
+/// The variant identifiers of `pub enum FaultPoint` in `content`.
+fn fault_point_variants(content: &str) -> Vec<String> {
+    plain_enum_variants(content, "pub enum FaultPoint")
 }
 
 /// The text of the `ALL` const array inside the chaos module (between
@@ -496,6 +512,72 @@ pub fn check_fault_points(
                 format!(
                     "fault point `{variant}` is not exercised by any serve test or the \
                      chaos_recovery report (inject it, or fold it into a `FaultPoint::ALL` sweep)"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// Check 7: the trace-span vocabulary stays honest. Every `SpanKind`
+/// variant in the telemetry catalog must be registered in
+/// `SpanKind::ALL`, carry its stable snake_case `name()` string, be
+/// emitted by the serving stack (`emitters`: serve and runtime
+/// sources), and be exercised by a coverage file (serve tests, the
+/// `service_trace` report) — by qualified name, by its snake_case
+/// string, or via an iteration over `SpanKind::ALL`.
+pub fn check_span_kinds(
+    path: &str,
+    span_content: &str,
+    emitters: &[(String, String)],
+    coverage: &[(String, String)],
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let variants = plain_enum_variants(span_content, "pub enum SpanKind");
+    if variants.is_empty() {
+        findings.push(Finding::new(
+            path,
+            "no `pub enum SpanKind` variants found (the span catalog lint needs them)",
+        ));
+        return findings;
+    }
+    let all_body = fault_point_all_body(span_content);
+    for variant in &variants {
+        let qualified = format!("SpanKind::{variant}");
+        let snake = snake_case(variant);
+        let in_all = all_body.contains(&qualified);
+        if !in_all {
+            findings.push(Finding::new(
+                path,
+                format!("span kind `{variant}` is missing from `SpanKind::ALL`"),
+            ));
+        }
+        if !span_content.contains(&format!("\"{snake}\"")) {
+            findings.push(Finding::new(
+                path,
+                format!("span kind `{variant}` has no stable `name()` string \"{snake}\""),
+            ));
+        }
+        if !emitters.iter().any(|(_, c)| c.contains(&qualified)) {
+            findings.push(Finding::new(
+                path,
+                format!(
+                    "span kind `{variant}` is never emitted by the serving stack \
+                     (emit it, or retire it from the catalog)"
+                ),
+            ));
+        }
+        let exercised = coverage.iter().any(|(_, c)| {
+            c.contains(&qualified)
+                || c.contains(&format!("\"{snake}\""))
+                || (in_all && c.contains("SpanKind::ALL"))
+        });
+        if !exercised {
+            findings.push(Finding::new(
+                path,
+                format!(
+                    "span kind `{variant}` is not exercised by any serve test or the \
+                     service_trace report (assert on it, or sweep `SpanKind::ALL`)"
                 ),
             ));
         }
@@ -709,6 +791,100 @@ impl FaultPoint {
         let findings = check_fault_points("chaos.rs", "pub fn nothing() {}", &[]);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("no `pub enum FaultPoint`"));
+    }
+
+    const SPAN_FIXTURE: &str = r#"
+pub enum SpanKind {
+    /// Docs.
+    QueueWait,
+    Dispatch,
+}
+impl SpanKind {
+    pub const ALL: [SpanKind; 2] = [
+        SpanKind::QueueWait,
+        SpanKind::Dispatch,
+    ];
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::QueueWait => "queue_wait",
+            SpanKind::Dispatch => "dispatch",
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn emitted_and_swept_span_kinds_pass() {
+        let emitters = pairs(&[(
+            "crates/serve/src/service.rs",
+            "rec(SpanKind::QueueWait); rec(SpanKind::Dispatch);",
+        )]);
+        let coverage = pairs(&[(
+            "crates/serve/tests/trace.rs",
+            "for kind in SpanKind::ALL { assert_present(kind); }",
+        )]);
+        assert_eq!(
+            check_span_kinds("span.rs", SPAN_FIXTURE, &emitters, &coverage),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn unemitted_and_unexercised_span_kind_is_flagged() {
+        let emitters = pairs(&[("crates/serve/src/service.rs", "rec(SpanKind::QueueWait);")]);
+        let coverage = pairs(&[("crates/serve/tests/trace.rs", "has(SpanKind::QueueWait);")]);
+        let findings = check_span_kinds("span.rs", SPAN_FIXTURE, &emitters, &coverage);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("`Dispatch` is never emitted"));
+        assert!(findings[1].message.contains("`Dispatch` is not exercised"));
+    }
+
+    #[test]
+    fn snake_case_name_string_counts_as_coverage() {
+        let emitters = pairs(&[(
+            "crates/serve/src/service.rs",
+            "rec(SpanKind::QueueWait); rec(SpanKind::Dispatch);",
+        )]);
+        let coverage = pairs(&[(
+            "crates/serve/tests/trace.rs",
+            r#"assert!(log.contains("queue_wait") && log.contains("dispatch"));"#,
+        )]);
+        assert_eq!(
+            check_span_kinds("span.rs", SPAN_FIXTURE, &emitters, &coverage),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn span_kind_outside_all_or_without_name_is_flagged() {
+        // `Extra` exists but is neither in ALL nor named, so the ALL
+        // sweep in coverage cannot reach it.
+        let src = SPAN_FIXTURE.replace("pub enum SpanKind {", "pub enum SpanKind {\n    Extra,");
+        let emitters = pairs(&[(
+            "crates/serve/src/service.rs",
+            "rec(SpanKind::QueueWait); rec(SpanKind::Dispatch); rec(SpanKind::Extra);",
+        )]);
+        let coverage = pairs(&[(
+            "crates/serve/tests/trace.rs",
+            "for kind in SpanKind::ALL { assert_present(kind); }",
+        )]);
+        let findings = check_span_kinds("span.rs", &src, &emitters, &coverage);
+        assert!(findings.iter().any(|f| f
+            .message
+            .contains("`Extra` is missing from `SpanKind::ALL`")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("no stable `name()` string \"extra\"")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("`Extra` is not exercised")));
+    }
+
+    #[test]
+    fn missing_span_kind_enum_is_flagged() {
+        let findings = check_span_kinds("span.rs", "pub fn nothing() {}", &[], &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("no `pub enum SpanKind`"));
     }
 
     #[test]

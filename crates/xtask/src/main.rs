@@ -3,8 +3,9 @@
 //! `lint` walks the workspace and enforces the invariants implemented
 //! in [`lint`] (probe-twin sync, the unwrap allowlist, report-registry
 //! contiguity, `#![forbid(unsafe_code)]` headers, dangling doc-path
-//! references, chaos fault-point coverage). Exits non-zero with one
-//! line per finding so CI can gate on it.
+//! references, chaos fault-point coverage, span-kind catalog
+//! coverage). Exits non-zero with one line per finding so CI can gate
+//! on it.
 
 mod lint;
 
@@ -152,6 +153,36 @@ fn run_lint() -> ExitCode {
         None => findings.push(lint::Finding {
             path: chaos_path.to_owned(),
             message: "chaos harness module is missing".to_owned(),
+        }),
+    }
+
+    // 7. Every trace span kind is registered, named, emitted by the
+    //    serving stack, and exercised by a serve test or the
+    //    service_trace report — the trace vocabulary cannot drift from
+    //    its emitters or its tests.
+    let span_path = "crates/telemetry/src/span.rs";
+    match sources.iter().find(|(p, _)| p == span_path) {
+        Some((path, content)) => {
+            let emitters: Vec<(String, String)> = sources
+                .iter()
+                .filter(|(p, _)| {
+                    p.starts_with("crates/serve/src") || p.starts_with("crates/runtime/src")
+                })
+                .cloned()
+                .collect();
+            let mut coverage: Vec<(String, String)> = Vec::new();
+            collect_rs(&root, &root.join("crates/serve/tests"), &mut coverage);
+            if let Some(pair) = sources
+                .iter()
+                .find(|(p, _)| p == "crates/bench/src/reports/service_trace.rs")
+            {
+                coverage.push(pair.clone());
+            }
+            findings.extend(lint::check_span_kinds(path, content, &emitters, &coverage));
+        }
+        None => findings.push(lint::Finding {
+            path: span_path.to_owned(),
+            message: "span catalog module is missing".to_owned(),
         }),
     }
 

@@ -22,8 +22,10 @@ use std::sync::Arc;
 
 use maeri_repro::dnn::ConvLayer;
 use maeri_repro::runtime::Runtime;
+use maeri_repro::serve::recorder::{read_span_log, RecorderConfig};
 use maeri_repro::serve::service::{ServeConfig, Service};
 use maeri_repro::serve::wire::{FabricSpec, JobSpec};
+use maeri_repro::telemetry::span::SpanKind;
 
 fn config(dir: &Path) -> ServeConfig {
     ServeConfig {
@@ -31,6 +33,13 @@ fn config(dir: &Path) -> ServeConfig {
         per_tenant_depth: 64,
         store_path: Some(dir.join("store.log")),
         journal_path: Some(dir.join("journal.log")),
+        // The flight recorder's span log is flushed before each submit
+        // is acknowledged, so it survives the SIGKILL alongside the
+        // journal and lets the parent audit the victim's request path.
+        recorder: Some(RecorderConfig {
+            span_log: Some(dir.join("spans.jsonl")),
+            ..RecorderConfig::default()
+        }),
         ..ServeConfig::default()
     }
 }
@@ -111,6 +120,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         acked.len()
     );
     assert!(acked.len() >= 10, "the kill landed before the burst");
+
+    // The span log is flushed before each submit_spec returns, so the
+    // victim's request-path trace survives the SIGKILL too: every
+    // acked id must already have its admission span on disk, matching
+    // the journal's write-ahead admit record.
+    let log = read_span_log(&dir.join("spans.jsonl"))?;
+    let admitted_spans: std::collections::HashSet<u64> = log
+        .spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Admission && s.status == "ok")
+        .map(|s| s.job)
+        .collect();
+    for &(id, job) in &acked {
+        assert!(
+            admitted_spans.contains(&id),
+            "acked id {id} (job {job}) has no admission span in the flight log"
+        );
+    }
+    println!(
+        "crash recovery: span log kept {} spans across the kill ({} torn lines skipped), \
+         covering all {} acked admissions",
+        log.spans.len(),
+        log.skipped,
+        acked.len()
+    );
 
     // Phase 2: restart on the victim's files. Every acked id must
     // resolve — replayed and re-run, or answered from the store.
