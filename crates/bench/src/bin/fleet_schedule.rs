@@ -1,0 +1,7 @@
+//! Prints the heterogeneous fleet-scheduling report: per-layer
+//! placement over mixed accelerators, policy comparison, and the
+//! degraded-mode timeline.
+
+fn main() {
+    maeri_bench::reports::fleet_schedule::run();
+}

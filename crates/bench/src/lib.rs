@@ -20,6 +20,7 @@
 //! | `figure17` | Fig. 17 — systolic vs MAERI walk-through |
 //! | `headline` | abstract's 8-459 % utilization-improvement range |
 //! | `mapping_search` | auto-tuned vs heuristic mappings across the zoo |
+//! | `fleet_schedule` | heterogeneous fleet scheduling over Fig. 12's backends |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -18,6 +18,7 @@ pub mod figure14;
 pub mod figure15;
 pub mod figure16;
 pub mod figure17;
+pub mod fleet_schedule;
 pub mod headline;
 pub mod mapping_search;
 pub mod service_load;
@@ -48,6 +49,7 @@ pub const REPORTS: &[(usize, &str, fn())] = &[
     (16, "service_load", service_load::run),
     (17, "chaos_recovery", chaos_recovery::run),
     (18, "service_trace", service_trace::run),
+    (19, "fleet_schedule", fleet_schedule::run),
 ];
 
 #[cfg(test)]
@@ -56,7 +58,7 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
-        assert_eq!(REPORTS.len(), 18);
+        assert_eq!(REPORTS.len(), 19);
         let mut names: Vec<&str> = REPORTS.iter().map(|(_, n, _)| *n).collect();
         names.sort_unstable();
         names.dedup();

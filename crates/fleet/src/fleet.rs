@@ -1,0 +1,311 @@
+//! Fleet composition: accelerator instances, degradation state, and
+//! the seeded degrade/recover timeline.
+
+use maeri::{FaultSpec, MaeriConfig};
+use maeri_sim::SimRng;
+
+use crate::backend::Backend;
+
+/// One accelerator in the fleet: a backend design plus its current
+/// degradation state. Faults only bite on MAERI fabrics (the fault
+/// model is the fabric's switch/adder/link catalog); a degraded
+/// instance keeps serving, just worse — its fault-aware costs rise and
+/// mappings that need the dead switches fail, which is exactly what
+/// the scheduler routes around.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Stable fleet-local id (index into the fleet).
+    pub id: usize,
+    /// The hardware design.
+    pub backend: Backend,
+    /// Current fault state; `None` means healthy.
+    pub fault: Option<FaultSpec>,
+}
+
+impl Instance {
+    /// A healthy instance.
+    #[must_use]
+    pub fn new(id: usize, backend: Backend) -> Self {
+        Instance {
+            id,
+            backend,
+            fault: None,
+        }
+    }
+
+    /// The backend with the current fault state applied: a degraded
+    /// MAERI instance serves through a config carrying its
+    /// [`FaultSpec`] (so cost probes are fault-aware and cache apart
+    /// from healthy ones); other designs pass through unchanged.
+    #[must_use]
+    pub fn effective_backend(&self) -> Backend {
+        match (&self.backend, self.fault) {
+            (Backend::Maeri { cfg }, Some(spec)) => {
+                let rebuilt = MaeriConfig::builder(cfg.num_mult_switches())
+                    .distribution_bandwidth(cfg.dist_bandwidth())
+                    .collection_bandwidth(cfg.collect_bandwidth())
+                    .ms_local_buffers(cfg.ms_local_buffers())
+                    .faults(spec)
+                    .build();
+                match rebuilt {
+                    Ok(cfg) => Backend::Maeri { cfg },
+                    // A fault spec cannot invalidate an already-valid
+                    // geometry; if it somehow did, keep serving
+                    // undegraded rather than dropping the instance.
+                    Err(_) => self.backend.clone(),
+                }
+            }
+            _ => self.backend.clone(),
+        }
+    }
+}
+
+/// A fleet: an ordered set of instances. Order is identity — placement
+/// tie-breaks go to the lowest id, so two fleets with the same
+/// instances in the same order schedule identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fleet {
+    /// The instances, indexed by id.
+    pub instances: Vec<Instance>,
+}
+
+impl Fleet {
+    /// Builds a fleet from backends, ids assigned in order.
+    #[must_use]
+    pub fn new(backends: Vec<Backend>) -> Self {
+        Fleet {
+            instances: backends
+                .into_iter()
+                .enumerate()
+                .map(|(id, backend)| Instance::new(id, backend))
+                .collect(),
+        }
+    }
+
+    /// The 4-instance mixed demo fleet: the paper's MAERI-64, a
+    /// smaller MAERI-32 (mixed multiplier counts, as a fleet of
+    /// different chip generations would have), an 8x8 systolic array,
+    /// and an 8x8 row-stationary array. The spatial arrays match
+    /// MAERI-64's 64 PEs, so Figure 12's equal-silicon comparison
+    /// carries over directly.
+    #[must_use]
+    pub fn mixed_demo() -> Self {
+        let m32 = MaeriConfig::builder(32)
+            .distribution_bandwidth(8)
+            .collection_bandwidth(8)
+            .build()
+            // The 32-multiplier geometry is statically valid; the
+            // fallback is unreachable but keeps this constructor
+            // panic-free.
+            .unwrap_or_else(|_| MaeriConfig::paper_64());
+        Fleet::new(vec![
+            Backend::Maeri {
+                cfg: MaeriConfig::paper_64(),
+            },
+            Backend::Maeri { cfg: m32 },
+            Backend::Systolic {
+                rows: 8,
+                cols: 8,
+                sram_bandwidth: 8,
+            },
+            Backend::RowStationary {
+                rows: 8,
+                cols: 8,
+                sram_bandwidth: 8,
+            },
+        ])
+    }
+
+    /// The report fleet: the mixed demo plus a fixed-cluster instance,
+    /// covering every backend kind.
+    #[must_use]
+    pub fn mixed_report() -> Self {
+        let mut fleet = Fleet::mixed_demo();
+        let id = fleet.instances.len();
+        fleet.instances.push(Instance::new(
+            id,
+            Backend::Cluster {
+                clusters: 4,
+                cluster_size: 16,
+                bus_bandwidth: 8,
+            },
+        ));
+        fleet
+    }
+
+    /// The same fleet with every backend replaced by a paper-64 MAERI
+    /// fabric — the homogeneous all-MAERI baseline at equal instance
+    /// count (fault state is preserved, so a degraded slot stays
+    /// degraded under both compositions).
+    #[must_use]
+    pub fn homogenized(&self) -> Self {
+        Fleet {
+            instances: self
+                .instances
+                .iter()
+                .map(|inst| Instance {
+                    id: inst.id,
+                    backend: Backend::Maeri {
+                        cfg: MaeriConfig::paper_64(),
+                    },
+                    fault: inst.fault,
+                })
+                .collect(),
+        }
+    }
+
+    /// Ids of the MAERI instances (the degrade timeline only targets
+    /// these).
+    #[must_use]
+    pub fn maeri_ids(&self) -> Vec<usize> {
+        self.instances
+            .iter()
+            .filter(|inst| matches!(inst.backend, Backend::Maeri { .. }))
+            .map(|inst| inst.id)
+            .collect()
+    }
+}
+
+/// One point on the degrade/recover timeline: at virtual time `at_us`,
+/// `instance` switches to `fault` (`None` = full recovery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradeEvent {
+    /// Virtual time the state change takes effect.
+    pub at_us: u64,
+    /// Target instance id.
+    pub instance: usize,
+    /// New fault state.
+    pub fault: Option<FaultSpec>,
+}
+
+/// A seeded degrade/recover schedule, applied as the fleet clock
+/// passes each event.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    /// Events sorted by `at_us` (ties applied in order).
+    pub events: Vec<DegradeEvent>,
+}
+
+impl Timeline {
+    /// No degradation.
+    #[must_use]
+    pub fn quiet() -> Self {
+        Timeline::default()
+    }
+
+    /// Degrades `instance` with `fault` over `[from_us, until_us)`,
+    /// recovering after.
+    #[must_use]
+    pub fn degrade_recover(instance: usize, fault: FaultSpec, from_us: u64, until_us: u64) -> Self {
+        Timeline {
+            events: vec![
+                DegradeEvent {
+                    at_us: from_us,
+                    instance,
+                    fault: Some(fault),
+                },
+                DegradeEvent {
+                    at_us: until_us,
+                    instance,
+                    fault: None,
+                },
+            ],
+        }
+    }
+
+    /// A seeded timeline over `horizon_us`: one MAERI instance (drawn
+    /// from `fleet` by the seed) loses 30% of its multiplier switches
+    /// for the middle third of the horizon. Pure in `(seed, fleet,
+    /// horizon_us)`.
+    #[must_use]
+    pub fn seeded(seed: u64, fleet: &Fleet, horizon_us: u64) -> Self {
+        let targets = fleet.maeri_ids();
+        if targets.is_empty() {
+            return Timeline::quiet();
+        }
+        let mut rng = SimRng::seed(seed);
+        let instance = targets[rng.next_below(targets.len())];
+        let fault = FaultSpec::new(seed).dead_multipliers(300);
+        Timeline::degrade_recover(instance, fault, horizon_us / 3, 2 * horizon_us / 3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_maeri_costs_apart_from_healthy() {
+        let healthy = Instance::new(
+            0,
+            Backend::Maeri {
+                cfg: MaeriConfig::paper_64(),
+            },
+        );
+        let mut degraded = healthy.clone();
+        degraded.fault = Some(FaultSpec::new(3).dead_multipliers(300));
+        let (Backend::Maeri { cfg: h }, Backend::Maeri { cfg: d }) =
+            (healthy.effective_backend(), degraded.effective_backend())
+        else {
+            panic!("both stay MAERI");
+        };
+        assert!(h.faults().is_none());
+        assert_eq!(
+            d.faults().map(|f| f.dead_mult_permille),
+            Some(300),
+            "the fault spec must reach the serving config"
+        );
+        assert_eq!(h.num_mult_switches(), d.num_mult_switches());
+    }
+
+    #[test]
+    fn non_maeri_instances_ignore_faults() {
+        let mut inst = Instance::new(
+            1,
+            Backend::Systolic {
+                rows: 8,
+                cols: 8,
+                sram_bandwidth: 8,
+            },
+        );
+        inst.fault = Some(FaultSpec::new(1).dead_multipliers(500));
+        assert_eq!(inst.effective_backend(), inst.backend);
+    }
+
+    #[test]
+    fn homogenized_preserves_count_order_and_faults() {
+        let mut fleet = Fleet::mixed_report();
+        fleet.instances[2].fault = Some(FaultSpec::new(9).dead_multipliers(100));
+        let homo = fleet.homogenized();
+        assert_eq!(homo.instances.len(), fleet.instances.len());
+        assert!(homo
+            .instances
+            .iter()
+            .all(|inst| matches!(inst.backend, Backend::Maeri { .. })));
+        assert_eq!(homo.instances[2].fault, fleet.instances[2].fault);
+        assert_eq!(
+            homo.maeri_ids(),
+            (0..fleet.instances.len()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn seeded_timeline_is_pure_and_targets_maeri() {
+        let fleet = Fleet::mixed_report();
+        let a = Timeline::seeded(5, &fleet, 90_000);
+        let b = Timeline::seeded(5, &fleet, 90_000);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 2);
+        assert!(fleet.maeri_ids().contains(&a.events[0].instance));
+        assert!(a.events[0].fault.is_some());
+        assert!(a.events[1].fault.is_none());
+        assert!(a.events[0].at_us < a.events[1].at_us);
+        // An all-baseline fleet has nothing to degrade.
+        let no_maeri = Fleet::new(vec![Backend::Systolic {
+            rows: 8,
+            cols: 8,
+            sram_bandwidth: 8,
+        }]);
+        assert_eq!(Timeline::seeded(5, &no_maeri, 90_000), Timeline::quiet());
+    }
+}

@@ -1,0 +1,57 @@
+//! # maeri-fleet — heterogeneous multi-accelerator fleet simulation
+//!
+//! One chip serves one job, but the paper's own evaluation (Figure 12)
+//! shows no single backend dominates: the systolic array wins
+//! alexnet_conv1 while MAERI wins the irregular layers. This crate
+//! simulates the production answer — a *fleet* of mixed accelerators
+//! behind a deterministic scheduler that routes each layer to
+//! whichever instance serves it best:
+//!
+//! * [`Backend`] — one latency/energy cost interface over MAERI
+//!   fabrics (any multiplier count, fault-aware) and the
+//!   `maeri-baselines` systolic / row-stationary / cluster models;
+//!   every cost probe is an ordinary [`maeri_runtime`] job, memoized
+//!   by the content-hash cache;
+//! * [`PlacementPolicy`] — homogeneous-MAERI baseline, round-robin,
+//!   greedy best-backend-per-layer, and load-aware (per-instance
+//!   queue depth);
+//! * [`Fleet`] / [`Instance`] / [`Timeline`] — fleet composition and
+//!   fault-degraded co-scheduling: instances carry
+//!   [`maeri::FaultSpec`]s, a seeded degrade/recover timeline flips
+//!   them mid-replay, and the scheduler re-routes around degraded
+//!   fabrics using fault-aware costs;
+//! * [`simulate_fleet`] — a virtual-clock load replay (reusing the
+//!   `maeri-serve` Poisson traffic generator and virtual cost
+//!   function) reporting throughput, per-backend utilization, energy,
+//!   and latency percentiles, byte-identical on every host and at
+//!   every worker count.
+//!
+//! # Example
+//!
+//! ```
+//! use maeri_fleet::{route_network, Fleet};
+//! use maeri_runtime::Runtime;
+//! use maeri_dnn::zoo;
+//!
+//! let fleet = Fleet::mixed_demo();
+//! let runtime = Runtime::new(2);
+//! let routes = route_network(&fleet, zoo::alexnet().layers(), &runtime);
+//! // Figure 12: the systolic array wins alexnet_conv1.
+//! assert_eq!(routes[0].backend, "systolic-8x8");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod fleet;
+pub mod placement;
+pub mod schedule;
+
+pub use backend::{Backend, BackendCost, SERVICE_CAP_US};
+pub use fleet::{DegradeEvent, Fleet, Instance, Timeline};
+pub use placement::PlacementPolicy;
+pub use schedule::{
+    arrival_layer, route_network, simulate_fleet, traffic_mixes, FleetOutcome, InstanceStats,
+    Placement, Route,
+};

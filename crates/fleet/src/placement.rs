@@ -1,0 +1,61 @@
+//! The placement-policy catalog.
+//!
+//! Every variant must appear in [`PlacementPolicy::ALL`], carry a
+//! stable snake_case [`name`](PlacementPolicy::name), be exercised by
+//! a test or the `fleet_schedule` report, and be listed in DESIGN.md —
+//! xtask lint check 8 enforces all four.
+
+/// How the fleet scheduler picks an instance for each incoming layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlacementPolicy {
+    /// The baseline: every slot serves a paper-64 MAERI fabric (the
+    /// fleet is [homogenized](crate::Fleet::homogenized) at equal
+    /// instance count) and jobs go to the least-busy instance.
+    HomogeneousMaeri,
+    /// Rotate through capable instances, blind to cost and load.
+    RoundRobin,
+    /// Best backend per layer: minimize simulated cycles, blind to
+    /// queue depth; ties go to the lowest instance id.
+    Greedy,
+    /// Minimize projected completion time: queue-drain time of the
+    /// instance plus the layer's virtual service cost there; ties go
+    /// to the cheaper backend, then the lowest id.
+    LoadAware,
+}
+
+impl PlacementPolicy {
+    /// Every policy, in report order.
+    pub const ALL: [PlacementPolicy; 4] = [
+        PlacementPolicy::HomogeneousMaeri,
+        PlacementPolicy::RoundRobin,
+        PlacementPolicy::Greedy,
+        PlacementPolicy::LoadAware,
+    ];
+
+    /// Stable snake_case name for reports and logs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::HomogeneousMaeri => "homogeneous_maeri",
+            PlacementPolicy::RoundRobin => "round_robin",
+            PlacementPolicy::Greedy => "greedy",
+            PlacementPolicy::LoadAware => "load_aware",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete_and_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            PlacementPolicy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), PlacementPolicy::ALL.len());
+        assert!(names.contains("homogeneous_maeri"));
+        assert!(names.contains("round_robin"));
+        assert!(names.contains("greedy"));
+        assert!(names.contains("load_aware"));
+    }
+}

@@ -1,0 +1,494 @@
+//! The deterministic fleet scheduler and virtual-clock load replay.
+//!
+//! [`simulate_fleet`] replays a traffic trace (the same
+//! [`maeri_serve::traffic`] arrivals the serving stack uses) across a
+//! [`Fleet`]: each arrival is lowered to a [`Layer`], every instance
+//! is asked what it would cost (fault-aware, memoized through the
+//! runtime cache), the [`PlacementPolicy`] picks one, and the job
+//! occupies that instance's single-server FIFO for its virtual service
+//! time. Everything is accounted on the virtual clock — identical
+//! traffic, fleet, policy, and timeline yield byte-identical outcomes
+//! on every host and at every worker count.
+
+use maeri_dnn::{zoo, Layer};
+use maeri_runtime::Runtime;
+use maeri_serve::traffic::Arrival;
+use maeri_serve::wire::{FabricSpec, JobSpec};
+use maeri_sim::histogram::Histogram;
+
+use crate::backend::BackendCost;
+use crate::fleet::{Fleet, Timeline};
+use crate::placement::PlacementPolicy;
+
+/// Per-instance accounting after a replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Instance id.
+    pub id: usize,
+    /// Display name of the designed backend (degradation does not
+    /// rename an instance).
+    pub backend: String,
+    /// Backend kind tag.
+    pub kind: &'static str,
+    /// Jobs routed here.
+    pub jobs: usize,
+    /// Total virtual busy time.
+    pub busy_us: u64,
+    /// Total modeled energy of the jobs served here.
+    pub energy_nj: f64,
+}
+
+/// One routing decision: where a job landed and what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// Virtual arrival time.
+    pub at_us: u64,
+    /// Instance the job was placed on.
+    pub instance: usize,
+    /// Virtual service time charged there.
+    pub service_us: u64,
+}
+
+/// What one fleet replay produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// Arrivals replayed.
+    pub arrivals: usize,
+    /// Jobs placed and served.
+    pub routed: usize,
+    /// Jobs no instance could serve (no mapping anywhere — with a
+    /// MAERI instance present this stays zero).
+    pub unroutable: usize,
+    /// Per-instance accounting, indexed by instance id.
+    pub per_instance: Vec<InstanceStats>,
+    /// Every routing decision, in arrival order — the full audit trail
+    /// (determinism tests compare these across worker counts).
+    pub placements: Vec<Placement>,
+    /// Completion latency (virtual µs) of every routed job.
+    pub latency_us: Histogram,
+    /// Virtual time of the last completion.
+    pub makespan_us: u64,
+}
+
+impl FleetOutcome {
+    /// Total modeled energy across the fleet, in millijoules.
+    #[must_use]
+    pub fn total_energy_mj(&self) -> f64 {
+        self.per_instance.iter().map(|i| i.energy_nj).sum::<f64>() / 1.0e6
+    }
+
+    /// Fleet throughput in jobs per virtual second.
+    #[must_use]
+    pub fn throughput_per_s(&self) -> f64 {
+        if self.makespan_us == 0 {
+            0.0
+        } else {
+            self.routed as f64 * 1.0e6 / self.makespan_us as f64
+        }
+    }
+
+    /// Busy fraction of instance `id` over the makespan.
+    #[must_use]
+    pub fn utilization(&self, id: usize) -> f64 {
+        if self.makespan_us == 0 {
+            0.0
+        } else {
+            self.per_instance[id].busy_us as f64 / self.makespan_us as f64
+        }
+    }
+
+    /// Jobs placed on `instance` with arrival times in
+    /// `[from_us, until_us)` — the window view that shows migration
+    /// while a degrade event is live (total counts hide it: a degraded
+    /// instance sheds work during the fault, then its empty queue
+    /// attracts work right back after recovery).
+    #[must_use]
+    pub fn jobs_on_during(&self, instance: usize, from_us: u64, until_us: u64) -> usize {
+        self.placements
+            .iter()
+            .filter(|p| p.instance == instance && p.at_us >= from_us && p.at_us < until_us)
+            .count()
+    }
+}
+
+/// The layer an arrival asks the fleet to run. The fabric spec inside
+/// the wire job is deliberately ignored — the whole point of the fleet
+/// is that *placement* chooses the hardware. Trace and search wire
+/// jobs lower to their underlying CONV shape.
+#[must_use]
+pub fn arrival_layer(spec: &JobSpec) -> Layer {
+    match spec {
+        JobSpec::Conv { layer, .. }
+        | JobSpec::TelemetryConv { layer, .. }
+        | JobSpec::MapSearch { layer, .. } => Layer::Conv(layer.clone()),
+        JobSpec::Fc { layer, .. } => Layer::Fc(layer.clone()),
+        JobSpec::Lstm { layer, .. } => Layer::Lstm(layer.clone()),
+        JobSpec::Random { seed, .. } => Layer::random(*seed),
+    }
+}
+
+/// Replays `arrivals` over `fleet` under `policy` and `timeline`.
+///
+/// Cost probes run through `runtime` (exact results, memoized by
+/// content hash); time is virtual. Each instance is a single-server
+/// FIFO queue; a degraded instance keeps its queue but answers new
+/// cost probes through its faulted config, so placement steers new
+/// work away exactly while the fault-aware costs say to.
+#[must_use]
+pub fn simulate_fleet(
+    arrivals: &[Arrival],
+    fleet: &Fleet,
+    policy: PlacementPolicy,
+    timeline: &Timeline,
+    runtime: &Runtime,
+) -> FleetOutcome {
+    // The homogeneous baseline serves the same slots, all MAERI.
+    let base = if policy == PlacementPolicy::HomogeneousMaeri {
+        fleet.homogenized()
+    } else {
+        fleet.clone()
+    };
+    let mut instances = base.instances.clone();
+    let n = instances.len();
+    let mut outcome = FleetOutcome {
+        arrivals: arrivals.len(),
+        routed: 0,
+        unroutable: 0,
+        per_instance: instances
+            .iter()
+            .map(|inst| InstanceStats {
+                id: inst.id,
+                backend: inst.backend.name(),
+                kind: inst.backend.kind(),
+                jobs: 0,
+                busy_us: 0,
+                energy_nj: 0.0,
+            })
+            .collect(),
+        placements: Vec::with_capacity(arrivals.len()),
+        latency_us: Histogram::new(),
+        makespan_us: 0,
+    };
+    if n == 0 {
+        outcome.unroutable = arrivals.len();
+        return outcome;
+    }
+    let mut busy_until = vec![0u64; n];
+    let mut rr_cursor = 0usize;
+    let mut next_event = 0usize;
+    for arrival in arrivals {
+        let now = arrival.at_us;
+        // Apply every timeline event the clock has passed.
+        while next_event < timeline.events.len() && timeline.events[next_event].at_us <= now {
+            let event = &timeline.events[next_event];
+            if let Some(inst) = instances.get_mut(event.instance) {
+                inst.fault = event.fault;
+            }
+            next_event += 1;
+        }
+        let layer = arrival_layer(&arrival.spec);
+        // Fault-aware candidate costs, memoized across repeats.
+        let costs: Vec<Option<BackendCost>> = instances
+            .iter()
+            .map(|inst| inst.effective_backend().cost(&layer, runtime))
+            .collect();
+        let chosen = place(policy, &costs, &busy_until, now, &mut rr_cursor);
+        let Some(id) = chosen else {
+            outcome.unroutable += 1;
+            continue;
+        };
+        let cost = costs[id].unwrap_or(BackendCost {
+            cycles: 0,
+            energy_nj: 0.0,
+            service_us: 0,
+        });
+        let start = now.max(busy_until[id]);
+        let done = start + cost.service_us;
+        busy_until[id] = done;
+        outcome.routed += 1;
+        outcome.placements.push(Placement {
+            at_us: now,
+            instance: id,
+            service_us: cost.service_us,
+        });
+        outcome.per_instance[id].jobs += 1;
+        outcome.per_instance[id].busy_us += cost.service_us;
+        outcome.per_instance[id].energy_nj += cost.energy_nj;
+        outcome.latency_us.record(done - now);
+        outcome.makespan_us = outcome.makespan_us.max(done);
+    }
+    outcome
+}
+
+/// Picks the instance for one job. `None` when no instance can serve
+/// the layer.
+fn place(
+    policy: PlacementPolicy,
+    costs: &[Option<BackendCost>],
+    busy_until: &[u64],
+    now: u64,
+    rr_cursor: &mut usize,
+) -> Option<usize> {
+    let n = costs.len();
+    let capable = |id: usize| costs[id].is_some();
+    match policy {
+        PlacementPolicy::RoundRobin => {
+            for step in 0..n {
+                let id = (*rr_cursor + step) % n;
+                if capable(id) {
+                    *rr_cursor = (id + 1) % n;
+                    return Some(id);
+                }
+            }
+            None
+        }
+        PlacementPolicy::Greedy => (0..n)
+            .filter(|&id| capable(id))
+            .min_by_key(|&id| (costs[id].map_or(u64::MAX, |c| c.cycles), id)),
+        PlacementPolicy::LoadAware => (0..n).filter(|&id| capable(id)).min_by_key(|&id| {
+            let cost = costs[id].map_or(u64::MAX, |c| c.service_us);
+            let finish = now.max(busy_until[id]).saturating_add(cost);
+            (finish, costs[id].map_or(u64::MAX, |c| c.cycles), id)
+        }),
+        PlacementPolicy::HomogeneousMaeri => (0..n)
+            .filter(|&id| capable(id))
+            .min_by_key(|&id| (busy_until[id].max(now), id)),
+    }
+}
+
+/// One row of a per-layer routing table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Layer name.
+    pub layer: String,
+    /// Layer kind tag (`"CONV"`, `"FC"`, ...).
+    pub kind: &'static str,
+    /// Chosen instance id.
+    pub instance: usize,
+    /// Chosen backend display name.
+    pub backend: String,
+    /// Simulated cycles on the chosen backend.
+    pub cycles: u64,
+    /// Modeled energy on the chosen backend, in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// Routes every layer of a network greedily (best backend per layer,
+/// load ignored) and returns the per-layer routing table. Layers no
+/// instance can serve are omitted.
+#[must_use]
+pub fn route_network(fleet: &Fleet, layers: &[Layer], runtime: &Runtime) -> Vec<Route> {
+    let mut routes = Vec::new();
+    for layer in layers {
+        let mut best: Option<(usize, BackendCost)> = None;
+        for inst in &fleet.instances {
+            if let Some(cost) = inst.effective_backend().cost(layer, runtime) {
+                let better = best.is_none_or(|(bid, b)| (cost.cycles, inst.id) < (b.cycles, bid));
+                if better {
+                    best = Some((inst.id, cost));
+                }
+            }
+        }
+        if let Some((id, cost)) = best {
+            routes.push(Route {
+                layer: layer.name().to_owned(),
+                kind: layer.kind(),
+                instance: id,
+                backend: fleet.instances[id].backend.name(),
+                cycles: cost.cycles,
+                energy_nj: cost.energy_nj,
+            });
+        }
+    }
+    routes
+}
+
+/// The named traffic mixes the `fleet_schedule` report sweeps:
+///
+/// * `balanced` — the serving stack's zoo pool (convs, FCs, an LSTM,
+///   a telemetry trace);
+/// * `conv1_heavy` — dominated by alexnet_conv1, the layer Figure 12
+///   shows the systolic array winning;
+/// * `irregular` — FC and LSTM layers, where MAERI's flexible VN
+///   packing wins and the spatial arrays thin out.
+#[must_use]
+pub fn traffic_mixes() -> Vec<(&'static str, Vec<JobSpec>)> {
+    let fabric = FabricSpec::default();
+    let conv = |name: &str| {
+        zoo::alexnet().layer(name).and_then(|layer| match layer {
+            Layer::Conv(conv) => Some(JobSpec::Conv {
+                layer: conv.clone(),
+                fabric,
+            }),
+            _ => None,
+        })
+    };
+    let fc = |name: &str| {
+        zoo::alexnet().layer(name).and_then(|layer| match layer {
+            Layer::Fc(fc) => Some(JobSpec::Fc {
+                layer: fc.clone(),
+                fabric,
+            }),
+            _ => None,
+        })
+    };
+    let mut conv1_heavy = Vec::new();
+    // Six parts conv1 to one part each of conv2 and fc6: the mix the
+    // heterogeneous fleet should win.
+    for _ in 0..6 {
+        conv1_heavy.extend(conv("alexnet_conv1"));
+    }
+    conv1_heavy.extend(conv("alexnet_conv2"));
+    conv1_heavy.extend(fc("alexnet_fc6"));
+    let mut irregular = Vec::new();
+    irregular.extend(fc("alexnet_fc6"));
+    irregular.extend(fc("alexnet_fc7"));
+    irregular.extend(fc("alexnet_fc8"));
+    if let Some(Layer::Lstm(lstm)) = zoo::deepspeech2().layer("ds2_rnn2") {
+        irregular.push(JobSpec::Lstm {
+            layer: lstm.clone(),
+            fabric,
+        });
+    }
+    vec![
+        ("balanced", maeri_serve::traffic::zoo_pool()),
+        ("conv1_heavy", conv1_heavy),
+        ("irregular", irregular),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maeri_serve::traffic::{self, TrafficConfig};
+
+    fn arrivals(pool: &[JobSpec], n: usize, gap_us: u64) -> Vec<Arrival> {
+        traffic::generate_from_pool(
+            &TrafficConfig {
+                seed: 21,
+                arrivals: n,
+                tenants: 2,
+                mean_interarrival_us: gap_us,
+                random_fraction: 0.1,
+            },
+            pool,
+        )
+    }
+
+    #[test]
+    fn every_policy_routes_all_jobs_on_a_healthy_fleet() {
+        let runtime = Runtime::new(2);
+        let fleet = Fleet::mixed_report();
+        let pool = maeri_serve::traffic::zoo_pool();
+        let trace = arrivals(&pool, 30, 500);
+        for policy in PlacementPolicy::ALL {
+            let outcome = simulate_fleet(&trace, &fleet, policy, &Timeline::quiet(), &runtime);
+            assert_eq!(outcome.unroutable, 0, "{}", policy.name());
+            assert_eq!(outcome.routed, 30, "{}", policy.name());
+            assert_eq!(
+                outcome.per_instance.iter().map(|i| i.jobs).sum::<usize>(),
+                30
+            );
+            assert!(outcome.makespan_us > 0);
+        }
+    }
+
+    #[test]
+    fn round_robin_spreads_and_greedy_specializes() {
+        let runtime = Runtime::new(2);
+        let fleet = Fleet::mixed_demo();
+        // All-conv traffic: every instance is capable.
+        let pool: Vec<JobSpec> = traffic_mixes()
+            .into_iter()
+            .find(|(name, _)| *name == "conv1_heavy")
+            .map(|(_, pool)| pool)
+            .into_iter()
+            .flatten()
+            .filter(|spec| matches!(spec, JobSpec::Conv { .. }))
+            .collect();
+        let trace = traffic::generate_from_pool(
+            &TrafficConfig {
+                seed: 4,
+                arrivals: 12,
+                tenants: 1,
+                mean_interarrival_us: 1_000,
+                random_fraction: 0.0,
+            },
+            &pool,
+        );
+        let rr = simulate_fleet(
+            &trace,
+            &fleet,
+            PlacementPolicy::RoundRobin,
+            &Timeline::quiet(),
+            &runtime,
+        );
+        assert!(
+            rr.per_instance.iter().all(|i| i.jobs >= 12 / 4),
+            "round-robin spreads evenly over capable instances: {:?}",
+            rr.per_instance.iter().map(|i| i.jobs).collect::<Vec<_>>()
+        );
+        let greedy = simulate_fleet(
+            &trace,
+            &fleet,
+            PlacementPolicy::Greedy,
+            &Timeline::quiet(),
+            &runtime,
+        );
+        // Figure 12: the systolic array wins alexnet_conv1 outright, so
+        // greedy sends every conv1 job there.
+        let systolic = greedy
+            .per_instance
+            .iter()
+            .find(|i| i.kind == "systolic")
+            .expect("demo fleet has a systolic instance");
+        let conv1_jobs = trace
+            .iter()
+            .filter(
+                |a| matches!(&a.spec, JobSpec::Conv { layer, .. } if layer.name == "alexnet_conv1"),
+            )
+            .count();
+        assert!(conv1_jobs > 0);
+        assert!(
+            systolic.jobs >= conv1_jobs,
+            "greedy must route conv1 to the systolic instance (got {} of {conv1_jobs})",
+            systolic.jobs
+        );
+    }
+
+    #[test]
+    fn routing_table_prefers_systolic_for_conv1() {
+        let runtime = Runtime::new(2);
+        let fleet = Fleet::mixed_demo();
+        let routes = route_network(&fleet, zoo::alexnet().layers(), &runtime);
+        let conv1 = routes
+            .iter()
+            .find(|r| r.layer == "alexnet_conv1")
+            .expect("conv1 routes somewhere");
+        assert_eq!(
+            conv1.backend, "systolic-8x8",
+            "Figure 12's systolic win on conv1 must drive the routing"
+        );
+        // Pool layers only map on MAERI.
+        let pool = routes
+            .iter()
+            .find(|r| r.kind == "POOL")
+            .expect("pool layers route to MAERI");
+        assert!(pool.backend.starts_with("maeri-"));
+    }
+
+    #[test]
+    fn traffic_mixes_are_well_formed() {
+        let mixes = traffic_mixes();
+        assert_eq!(mixes.len(), 3);
+        for (name, pool) in &mixes {
+            assert!(!pool.is_empty(), "{name}");
+        }
+        let conv1 = &mixes[1].1;
+        let conv1_share = conv1
+            .iter()
+            .filter(|s| matches!(s, JobSpec::Conv { layer, .. } if layer.name == "alexnet_conv1"))
+            .count();
+        assert!(conv1_share * 2 > conv1.len(), "conv1 dominates its mix");
+    }
+}

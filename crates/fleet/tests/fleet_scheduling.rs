@@ -1,0 +1,201 @@
+//! Integration tests for the fleet scheduler: placement determinism
+//! across runtime worker counts, and degraded-mode migration.
+
+use maeri::{FaultSpec, MaeriConfig};
+use maeri_dnn::zoo;
+use maeri_fleet::{
+    route_network, simulate_fleet, traffic_mixes, Backend, Fleet, PlacementPolicy, Timeline,
+};
+use maeri_runtime::Runtime;
+use maeri_serve::traffic::{self, Arrival, TrafficConfig};
+use maeri_serve::wire::{FabricSpec, JobSpec};
+
+fn trace(pool: &[JobSpec], seed: u64, arrivals: usize, gap_us: u64) -> Vec<Arrival> {
+    traffic::generate_from_pool(
+        &TrafficConfig {
+            seed,
+            arrivals,
+            tenants: 3,
+            mean_interarrival_us: gap_us,
+            random_fraction: 0.0,
+        },
+        pool,
+    )
+}
+
+/// Dense CONV traffic MAERI-64 wins outright (Figure 12's conv3-5), so
+/// a healthy fleet loads the MAERI-64 instance and a degraded one must
+/// visibly shed that work.
+fn maeri_favored_pool() -> Vec<JobSpec> {
+    let alex = zoo::alexnet();
+    ["alexnet_conv3", "alexnet_conv4", "alexnet_conv5"]
+        .iter()
+        .filter_map(|name| alex.layer(name))
+        .filter_map(|layer| match layer {
+            maeri_dnn::Layer::Conv(conv) => Some(JobSpec::Conv {
+                layer: conv.clone(),
+                fabric: FabricSpec::default(),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Same seed, same mix, same fleet: the routing decisions and every
+/// derived statistic must be identical whether the runtime runs one
+/// worker or four — placement is driven by memoized exact costs, never
+/// by wall-clock or completion order.
+#[test]
+fn placement_is_deterministic_across_worker_counts() {
+    let fleet = Fleet::mixed_report();
+    for (name, pool) in traffic_mixes() {
+        let arrivals = trace(&pool, 0x77, 24, 5_000);
+        let timeline = Timeline::seeded(0x77, &fleet, 120_000);
+        for policy in PlacementPolicy::ALL {
+            let w1 = Runtime::new(1);
+            let w4 = Runtime::new(4);
+            let a = simulate_fleet(&arrivals, &fleet, policy, &timeline, &w1);
+            let b = simulate_fleet(&arrivals, &fleet, policy, &timeline, &w4);
+            assert_eq!(
+                a.placements,
+                b.placements,
+                "routing decisions must not depend on worker count ({name}, {})",
+                policy.name()
+            );
+            assert_eq!(a, b, "full outcome diverged ({name}, {})", policy.name());
+        }
+    }
+}
+
+/// Re-running the same replay on one runtime answers every cost probe
+/// from the content-hash cache and returns the identical outcome.
+#[test]
+fn repeat_replay_is_pure_and_cache_backed() {
+    let runtime = Runtime::new(2);
+    let fleet = Fleet::mixed_demo();
+    let arrivals = trace(&maeri_favored_pool(), 9, 12, 4_000);
+    let first = simulate_fleet(
+        &arrivals,
+        &fleet,
+        PlacementPolicy::LoadAware,
+        &Timeline::quiet(),
+        &runtime,
+    );
+    let jobs_after_first = runtime.metrics().executed;
+    let second = simulate_fleet(
+        &arrivals,
+        &fleet,
+        PlacementPolicy::LoadAware,
+        &Timeline::quiet(),
+        &runtime,
+    );
+    assert_eq!(first, second);
+    assert_eq!(
+        runtime.metrics().executed,
+        jobs_after_first,
+        "second replay must execute nothing new — every probe is a cache hit"
+    );
+}
+
+/// A FaultPlan killing 30% (>25%) of a fabric's multiplier switches
+/// must push load-aware placement off that instance while the fault is
+/// live, without losing a single job.
+#[test]
+fn jobs_migrate_off_a_degraded_fabric() {
+    let runtime = Runtime::new(2);
+    let fleet = Fleet::mixed_demo();
+    let arrivals = trace(&maeri_favored_pool(), 31, 24, 8_000);
+    let horizon = arrivals.last().map_or(0, |a| a.at_us);
+    assert!(horizon > 0);
+    // Degrade the MAERI-64 instance (id 0) for the entire replay.
+    let fault = FaultSpec::new(31).dead_multipliers(300);
+    let timeline = Timeline::degrade_recover(0, fault, 0, horizon + 1);
+    let healthy = simulate_fleet(
+        &arrivals,
+        &fleet,
+        PlacementPolicy::LoadAware,
+        &Timeline::quiet(),
+        &runtime,
+    );
+    let degraded = simulate_fleet(
+        &arrivals,
+        &fleet,
+        PlacementPolicy::LoadAware,
+        &timeline,
+        &runtime,
+    );
+    assert_eq!(degraded.unroutable, 0, "no job may be lost to degradation");
+    assert_eq!(degraded.routed, arrivals.len());
+    let healthy_share = healthy.jobs_on_during(0, 0, u64::MAX);
+    let degraded_share = degraded.jobs_on_during(0, 0, u64::MAX);
+    assert!(
+        healthy_share >= arrivals.len() / 4,
+        "MAERI-64 must carry real load when healthy (got {healthy_share})"
+    );
+    assert!(
+        degraded_share < healthy_share,
+        "jobs must migrate off the degraded fabric ({degraded_share} vs {healthy_share} healthy)"
+    );
+}
+
+/// The seeded report timeline recovers: after the degrade window ends
+/// the instance serves again, and still nothing is lost.
+#[test]
+fn degrade_recover_timeline_loses_nothing_and_recovers() {
+    let runtime = Runtime::new(2);
+    let fleet = Fleet::mixed_report();
+    let arrivals = trace(&maeri_favored_pool(), 47, 30, 8_000);
+    let horizon = arrivals.last().map_or(0, |a| a.at_us);
+    let timeline = Timeline::seeded(47, &fleet, horizon);
+    let outcome = simulate_fleet(
+        &arrivals,
+        &fleet,
+        PlacementPolicy::LoadAware,
+        &timeline,
+        &runtime,
+    );
+    assert_eq!(outcome.unroutable, 0);
+    assert_eq!(outcome.routed, arrivals.len());
+    let target = timeline.events[0].instance;
+    let recover_at = timeline.events[1].at_us;
+    assert!(
+        outcome.jobs_on_during(target, recover_at, u64::MAX) > 0,
+        "instance {target} must serve again after recovery"
+    );
+}
+
+/// An all-MAERI fleet never strands a job even when every instance is
+/// degraded at once — flexible VN packing still maps every layer.
+#[test]
+fn fully_degraded_maeri_fleet_still_routes_everything() {
+    let runtime = Runtime::new(2);
+    let mut fleet = Fleet::new(vec![
+        Backend::Maeri {
+            cfg: MaeriConfig::paper_64(),
+        },
+        Backend::Maeri {
+            cfg: MaeriConfig::paper_64(),
+        },
+    ]);
+    for inst in &mut fleet.instances {
+        inst.fault = Some(FaultSpec::new(inst.id as u64).dead_multipliers(300));
+    }
+    let arrivals = trace(&traffic_mixes()[0].1, 3, 10, 2_000);
+    for policy in PlacementPolicy::ALL {
+        let outcome = simulate_fleet(&arrivals, &fleet, policy, &Timeline::quiet(), &runtime);
+        assert_eq!(outcome.unroutable, 0, "{}", policy.name());
+    }
+}
+
+/// The greedy routing table is itself deterministic across worker
+/// counts (it feeds the report and the demo example).
+#[test]
+fn routing_table_is_deterministic_across_worker_counts() {
+    let fleet = Fleet::mixed_demo();
+    let w1 = Runtime::new(1);
+    let w4 = Runtime::new(4);
+    let a = route_network(&fleet, zoo::alexnet().layers(), &w1);
+    let b = route_network(&fleet, zoo::alexnet().layers(), &w4);
+    assert_eq!(a, b);
+    assert!(!a.is_empty());
+}

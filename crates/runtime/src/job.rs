@@ -97,6 +97,18 @@ pub enum SimJob {
         /// Layer to run.
         layer: ConvLayer,
     },
+    /// Fully-connected layer on the weight-stationary systolic-array
+    /// baseline (fleet scheduling probes FC layers on every backend).
+    SystolicFc {
+        /// PE rows.
+        rows: usize,
+        /// PE columns.
+        cols: usize,
+        /// SRAM bandwidth in words/cycle.
+        sram_bandwidth: usize,
+        /// Layer to run.
+        layer: FcLayer,
+    },
     /// Dense CONV on the row-stationary (Eyeriss-like) baseline.
     RowStationaryConv {
         /// PE rows.
@@ -245,6 +257,17 @@ impl SimJob {
         }
     }
 
+    /// Systolic-array baseline FC (see [`SimJob::SystolicFc`]).
+    #[must_use]
+    pub fn systolic_fc(rows: usize, cols: usize, sram_bandwidth: usize, layer: FcLayer) -> Self {
+        SimJob::SystolicFc {
+            rows,
+            cols,
+            sram_bandwidth,
+            layer,
+        }
+    }
+
     /// Row-stationary baseline CONV (see [`SimJob::RowStationaryConv`]).
     #[must_use]
     pub fn row_stationary_conv(
@@ -334,6 +357,7 @@ impl SimJob {
             SimJob::Lstm { layer, .. } => format!("maeri/lstm/{}", layer.name),
             SimJob::Pool { layer, .. } => format!("maeri/pool/{}", layer.name),
             SimJob::SystolicConv { layer, .. } => format!("systolic/conv/{}", layer.name),
+            SimJob::SystolicFc { layer, .. } => format!("systolic/fc/{}", layer.name),
             SimJob::RowStationaryConv { layer, .. } => format!("rowstat/conv/{}", layer.name),
             SimJob::ClusterSparseConv { layer, .. } => format!("cluster/sparse/{}", layer.name),
             SimJob::ClusterFusedChain { layers, .. } => format!("cluster/fused/{}x", layers.len()),
@@ -449,6 +473,14 @@ impl SimJob {
                 layer,
             } => Ok(SimOutput::Run(
                 SystolicArray::new(*rows, *cols, *sram_bandwidth).run_conv(layer),
+            )),
+            SimJob::SystolicFc {
+                rows,
+                cols,
+                sram_bandwidth,
+                layer,
+            } => Ok(SimOutput::Run(
+                SystolicArray::new(*rows, *cols, *sram_bandwidth).run_fc(layer),
             )),
             SimJob::RowStationaryConv {
                 rows,
@@ -605,6 +637,20 @@ impl SimJob {
                 enc.usize(*cols);
                 enc.usize(*sram_bandwidth);
                 enc.conv(layer);
+            }
+            SimJob::SystolicFc {
+                rows,
+                cols,
+                sram_bandwidth,
+                layer,
+            } => {
+                enc.tag(17);
+                enc.usize(*rows);
+                enc.usize(*cols);
+                enc.usize(*sram_bandwidth);
+                enc.str(&layer.name);
+                enc.usize(layer.inputs);
+                enc.usize(layer.outputs);
             }
             SimJob::RowStationaryConv {
                 rows,
@@ -944,6 +990,27 @@ mod tests {
         let rowstat = SimJob::row_stationary_conv(8, 8, 8, layer());
         assert_ne!(dense.key(), systolic.key());
         assert_ne!(systolic.key(), rowstat.key());
+    }
+
+    #[test]
+    fn systolic_fc_keys_labels_and_executes() {
+        let fc = maeri_dnn::FcLayer::new("fc6", 256, 64);
+        let job = SimJob::systolic_fc(8, 8, 8, fc.clone());
+        assert_eq!(job.label(), "systolic/fc/fc6");
+        assert_eq!(job.fidelity(), Fidelity::Analytic);
+        assert_eq!(job.key(), SimJob::systolic_fc(8, 8, 8, fc.clone()).key());
+        // The job must report exactly what the baseline reports.
+        let direct = SystolicArray::new(8, 8, 8).run_fc(&fc);
+        let run = job.execute().unwrap().into_run_stats();
+        assert_eq!(run.cycles, direct.cycles);
+        assert_eq!(run.sram_reads, direct.sram_reads);
+        // Distinct from the MAERI FC job and from a resized array.
+        let maeri_fc = SimJob::Fc {
+            cfg: MaeriConfig::paper_64(),
+            layer: fc.clone(),
+        };
+        assert_ne!(job.key(), maeri_fc.key());
+        assert_ne!(job.key(), SimJob::systolic_fc(16, 16, 8, fc).key());
     }
 
     #[test]

@@ -88,12 +88,27 @@ impl LoadOutcome {
 /// Virtual service cost of a fresh simulation: a fixed dispatch
 /// overhead plus the simulated cycles drained at 64 cycles/µs, capped
 /// so one huge layer cannot dominate every percentile.
-fn miss_cost_us(result: &JobResult) -> u64 {
+///
+/// Public because the fleet simulator (`maeri-fleet`) accounts its
+/// virtual clocks in the same currency — one cost function keeps
+/// service-level and fleet-level latencies comparable.
+#[must_use]
+pub fn virtual_cost_us(result: &JobResult) -> u64 {
+    virtual_cost_us_capped(result, 50_000)
+}
+
+/// [`virtual_cost_us`] with a caller-chosen cap on the cycle-drain
+/// term. The service cap (50 ms) protects request-latency percentiles
+/// from one huge layer; fleet scheduling raises it, because flattening
+/// multi-million-cycle layers to one ceiling would erase exactly the
+/// per-backend differences placement exists to exploit.
+#[must_use]
+pub fn virtual_cost_us_capped(result: &JobResult, cap_us: u64) -> u64 {
     if result.is_err() {
         return 100;
     }
     let cycles = StoredResult::from_result("", result).cycles;
-    150 + (cycles / 64).min(50_000)
+    150 + (cycles / 64).min(cap_us)
 }
 
 /// Replays `arrivals` against `runtime` (and optionally a persistent
@@ -237,7 +252,7 @@ fn replay(
                     outcome.failed += 1;
                 }
             }
-            let cost = miss_cost_us(&result);
+            let cost = virtual_cost_us(&result);
             if let (Some(store), Ok(_)) = (store, &result) {
                 let stored = StoredResult::from_result(&job.label(), &result);
                 let _ = store.put(&key, &stored);

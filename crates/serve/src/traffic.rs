@@ -94,7 +94,21 @@ pub fn zoo_pool() -> Vec<JobSpec> {
 /// deterministic: identical configs yield identical traffic.
 #[must_use]
 pub fn generate(config: &TrafficConfig) -> Vec<Arrival> {
-    let pool = zoo_pool();
+    generate_from_pool(config, &zoo_pool())
+}
+
+/// [`generate`] with a caller-supplied job pool instead of
+/// [`zoo_pool`]. The fleet simulator uses this to shape traffic mixes
+/// (e.g. a conv1-heavy mix that favors the systolic backend) while
+/// keeping the arrival process — and therefore the report bytes —
+/// a pure function of the config.
+///
+/// # Panics
+///
+/// Panics if `pool` is empty and `random_fraction < 1.0` would require
+/// drawing from it.
+#[must_use]
+pub fn generate_from_pool(config: &TrafficConfig, pool: &[JobSpec]) -> Vec<Arrival> {
     let mut rng = SimRng::seed(config.seed);
     let mut clock_us = 0u64;
     let mut arrivals = Vec::with_capacity(config.arrivals);
@@ -156,6 +170,26 @@ mod tests {
             .count();
         assert!(randoms > 20, "~30% of 200 arrivals should be random");
         assert!(randoms < 120, "random draw should respect the fraction");
+    }
+
+    #[test]
+    fn custom_pool_reproduces_default_generation() {
+        let config = TrafficConfig::default();
+        assert_eq!(
+            generate(&config),
+            generate_from_pool(&config, &zoo_pool()),
+            "generate is the zoo_pool special case"
+        );
+        // A single-entry pool pins every non-random arrival to it.
+        let one = vec![zoo_pool().remove(0)];
+        let custom = generate_from_pool(
+            &TrafficConfig {
+                random_fraction: 0.0,
+                ..config
+            },
+            &one,
+        );
+        assert!(custom.iter().all(|arr| arr.spec == one[0]));
     }
 
     #[test]

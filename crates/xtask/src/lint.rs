@@ -36,6 +36,13 @@
 //!    `crates/runtime/src`), and be exercised by a serve test or the
 //!    `service_trace` report — so the trace vocabulary, its emitters,
 //!    and its tests cannot drift apart.
+//! 8. **Placement-policy catalog coverage** — every `PlacementPolicy`
+//!    variant in `crates/fleet/src/placement.rs` must be listed in
+//!    `PlacementPolicy::ALL`, carry a stable snake_case `name()`
+//!    string, be exercised by a fleet test or the `fleet_schedule`
+//!    report (directly or via a `PlacementPolicy::ALL` sweep), and be
+//!    documented in DESIGN.md — a new scheduling policy cannot ship
+//!    untested or undocumented.
 
 /// One violated invariant: the offending path plus a human message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -585,6 +592,72 @@ pub fn check_span_kinds(
     findings
 }
 
+/// Check 8: the fleet's placement-policy catalog stays honest. Every
+/// `PlacementPolicy` variant must be registered in
+/// `PlacementPolicy::ALL`, carry its stable snake_case `name()`
+/// string, be exercised by a coverage file (fleet sources/tests, the
+/// `fleet_schedule` report) — by qualified name, by its snake_case
+/// string, or via an iteration over `PlacementPolicy::ALL` — and be
+/// listed by its snake_case name in DESIGN.md.
+pub fn check_placement_policies(
+    path: &str,
+    placement_content: &str,
+    coverage: &[(String, String)],
+    design: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let variants = plain_enum_variants(placement_content, "pub enum PlacementPolicy");
+    if variants.is_empty() {
+        findings.push(Finding::new(
+            path,
+            "no `pub enum PlacementPolicy` variants found (the policy catalog lint needs them)",
+        ));
+        return findings;
+    }
+    let all_body = fault_point_all_body(placement_content);
+    for variant in &variants {
+        let qualified = format!("PlacementPolicy::{variant}");
+        let snake = snake_case(variant);
+        let in_all = all_body.contains(&qualified);
+        if !in_all {
+            findings.push(Finding::new(
+                path,
+                format!("placement policy `{variant}` is missing from `PlacementPolicy::ALL`"),
+            ));
+        }
+        if !placement_content.contains(&format!("\"{snake}\"")) {
+            findings.push(Finding::new(
+                path,
+                format!("placement policy `{variant}` has no stable `name()` string \"{snake}\""),
+            ));
+        }
+        let exercised = coverage.iter().any(|(_, c)| {
+            c.contains(&qualified)
+                || c.contains(&format!("\"{snake}\""))
+                || (in_all && c.contains("PlacementPolicy::ALL"))
+        });
+        if !exercised {
+            findings.push(Finding::new(
+                path,
+                format!(
+                    "placement policy `{variant}` is not exercised by any fleet test or the \
+                     fleet_schedule report (schedule with it, or sweep `PlacementPolicy::ALL`)"
+                ),
+            ));
+        }
+        if !design.contains(&snake) {
+            findings.push(Finding::new(
+                path,
+                format!(
+                    "placement policy `{variant}` is not listed in DESIGN.md \
+                     (document \"{snake}\" in the policy catalog section)"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -885,6 +958,89 @@ impl SpanKind {
         let findings = check_span_kinds("span.rs", "pub fn nothing() {}", &[], &[]);
         assert_eq!(findings.len(), 1);
         assert!(findings[0].message.contains("no `pub enum SpanKind`"));
+    }
+
+    const PLACEMENT_FIXTURE: &str = r#"
+pub enum PlacementPolicy {
+    /// Docs.
+    HomogeneousMaeri,
+    Greedy,
+}
+impl PlacementPolicy {
+    pub const ALL: [PlacementPolicy; 2] = [
+        PlacementPolicy::HomogeneousMaeri,
+        PlacementPolicy::Greedy,
+    ];
+    pub fn name(self) -> &'static str {
+        match self {
+            PlacementPolicy::HomogeneousMaeri => "homogeneous_maeri",
+            PlacementPolicy::Greedy => "greedy",
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn swept_and_documented_placement_policies_pass() {
+        let coverage = pairs(&[(
+            "crates/fleet/tests/fleet_scheduling.rs",
+            "for policy in PlacementPolicy::ALL { simulate(policy); }",
+        )]);
+        let design = "Policies: `homogeneous_maeri` baseline, `greedy` best-backend.";
+        assert_eq!(
+            check_placement_policies("placement.rs", PLACEMENT_FIXTURE, &coverage, design),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn unexercised_and_undocumented_placement_policy_is_flagged() {
+        let coverage = pairs(&[(
+            "crates/fleet/tests/fleet_scheduling.rs",
+            "simulate(PlacementPolicy::HomogeneousMaeri);",
+        )]);
+        let design = "Policies: `homogeneous_maeri` baseline.";
+        let findings =
+            check_placement_policies("placement.rs", PLACEMENT_FIXTURE, &coverage, design);
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("`Greedy` is not exercised"));
+        assert!(findings[1]
+            .message
+            .contains("`Greedy` is not listed in DESIGN.md"));
+    }
+
+    #[test]
+    fn placement_policy_outside_all_or_without_name_is_flagged() {
+        // `Extra` is neither in ALL nor named, so the ALL sweep in
+        // coverage cannot reach it.
+        let src = PLACEMENT_FIXTURE.replace(
+            "pub enum PlacementPolicy {",
+            "pub enum PlacementPolicy {\n    Extra,",
+        );
+        let coverage = pairs(&[(
+            "crates/fleet/tests/fleet_scheduling.rs",
+            "for policy in PlacementPolicy::ALL { simulate(policy); }",
+        )]);
+        let design = "Policies: `homogeneous_maeri`, `greedy`, `extra`.";
+        let findings = check_placement_policies("placement.rs", &src, &coverage, design);
+        assert!(findings.iter().any(|f| f
+            .message
+            .contains("`Extra` is missing from `PlacementPolicy::ALL`")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("no stable `name()` string \"extra\"")));
+        assert!(findings
+            .iter()
+            .any(|f| f.message.contains("`Extra` is not exercised")));
+    }
+
+    #[test]
+    fn missing_placement_policy_enum_is_flagged() {
+        let findings = check_placement_policies("placement.rs", "pub fn nothing() {}", &[], "");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0]
+            .message
+            .contains("no `pub enum PlacementPolicy`"));
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! `lint` walks the workspace and enforces the invariants implemented
 //! in [`lint`] (probe-twin sync, the unwrap allowlist, report-registry
 //! contiguity, `#![forbid(unsafe_code)]` headers, dangling doc-path
-//! references, chaos fault-point coverage, span-kind catalog
-//! coverage). Exits non-zero with one line per finding so CI can gate
-//! on it.
+//! references, chaos fault-point coverage, span-kind catalog coverage,
+//! placement-policy catalog coverage). Exits non-zero with one line
+//! per finding so CI can gate on it.
 
 mod lint;
 
@@ -183,6 +183,36 @@ fn run_lint() -> ExitCode {
         None => findings.push(lint::Finding {
             path: span_path.to_owned(),
             message: "span catalog module is missing".to_owned(),
+        }),
+    }
+
+    // 8. Every fleet placement policy is registered, named, exercised
+    //    by a fleet test or the fleet_schedule report, and documented
+    //    in DESIGN.md — the scheduling catalog cannot drift from its
+    //    tests or its docs.
+    let placement_path = "crates/fleet/src/placement.rs";
+    match sources.iter().find(|(p, _)| p == placement_path) {
+        Some((path, content)) => {
+            let mut coverage: Vec<(String, String)> = sources
+                .iter()
+                .filter(|(p, _)| p.starts_with("crates/fleet/src"))
+                .cloned()
+                .collect();
+            collect_rs(&root, &root.join("crates/fleet/tests"), &mut coverage);
+            if let Some(pair) = sources
+                .iter()
+                .find(|(p, _)| p == "crates/bench/src/reports/fleet_schedule.rs")
+            {
+                coverage.push(pair.clone());
+            }
+            let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+            findings.extend(lint::check_placement_policies(
+                path, content, &coverage, &design,
+            ));
+        }
+        None => findings.push(lint::Finding {
+            path: placement_path.to_owned(),
+            message: "placement-policy catalog module is missing".to_owned(),
         }),
     }
 

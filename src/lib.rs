@@ -22,6 +22,9 @@
 //!   clocking a cycle ([`maeri_verify`]),
 //! * [`runtime`] — parallel batch execution: simulation jobs, the
 //!   worker-pool scheduler, result caching ([`maeri_runtime`]),
+//! * [`fleet`] — heterogeneous multi-accelerator fleet simulation:
+//!   per-layer placement policies, fault-degraded co-scheduling,
+//!   virtual-clock fleet load replay ([`maeri_fleet`]),
 //! * [`sim`] — cycles, statistics, RNG, tables ([`maeri_sim`]),
 //! * [`telemetry`] — cycle-level fabric observability: trace probes,
 //!   event sinks, Chrome-trace export ([`maeri_telemetry`]).
@@ -69,6 +72,9 @@ pub use maeri_runtime as runtime;
 
 /// Batch-inference simulation service (re-export of `maeri-serve`).
 pub use maeri_serve as serve;
+
+/// Heterogeneous fleet simulation (re-export of `maeri-fleet`).
+pub use maeri_fleet as fleet;
 
 /// Static mapping verification (re-export of `maeri-verify`).
 pub use maeri_verify as verify;
