@@ -1,0 +1,707 @@
+//! The determinism rule catalog.
+//!
+//! Every rule is a pure function over parsed files plus the
+//! output-path classification, returning structured [`Finding`]s.
+//! Rules scan scrubbed code (comments and strings blanked), so
+//! pattern text appearing in docs or messages never fires. The six
+//! rules cover the hazards a data-oriented, parallel cycle kernel
+//! (ROADMAP item 1) is most likely to introduce:
+//!
+//! 1. `hash_order` — iteration over `HashMap`/`HashSet` whose order
+//!    can reach output without a sort or BTree collection in between.
+//! 2. `wall_clock` — `Instant::now`/`SystemTime::now` on the output
+//!    path outside the allowlisted watchdog/metrics modules.
+//! 3. `unseeded_rng` — entropy-seeded randomness anywhere in shipped
+//!    code (`thread_rng`, `from_entropy`, `OsRng`, ...): replay
+//!    purity is global, so this rule ignores classification.
+//! 4. `float_reduce` — order-sensitive float reductions
+//!    (`sum`/`product`/`fold`/`reduce`) over parallel iterators.
+//! 5. `thread_influence` — `thread::current()` identity or
+//!    `available_parallelism` observable from the output path.
+//! 6. `partial_cmp_sort` — comparators built on `partial_cmp` inside
+//!    sorts/extrema, where NaN makes the order (and the output)
+//!    input-dependent; `total_cmp` is the deterministic spelling.
+
+use crate::ast::FileAst;
+use crate::lexer::line_of;
+use std::collections::BTreeSet;
+
+/// Stable identifiers for the rule catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Hash-ordered iteration reaching output.
+    HashOrder,
+    /// Wall-clock reads on the output path.
+    WallClock,
+    /// Entropy-seeded randomness in shipped code.
+    UnseededRng,
+    /// Order-sensitive float reduction over a parallel iterator.
+    FloatReduce,
+    /// Thread identity / parallelism influencing data.
+    ThreadInfluence,
+    /// Non-total float comparators in sorts.
+    PartialCmpSort,
+}
+
+impl Rule {
+    /// Every rule, in catalog order.
+    pub const ALL: [Rule; 6] = [
+        Rule::HashOrder,
+        Rule::WallClock,
+        Rule::UnseededRng,
+        Rule::FloatReduce,
+        Rule::ThreadInfluence,
+        Rule::PartialCmpSort,
+    ];
+
+    /// The rule's stable snake_case id (used in suppression files).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashOrder => "hash_order",
+            Rule::WallClock => "wall_clock",
+            Rule::UnseededRng => "unseeded_rng",
+            Rule::FloatReduce => "float_reduce",
+            Rule::ThreadInfluence => "thread_influence",
+            Rule::PartialCmpSort => "partial_cmp_sort",
+        }
+    }
+
+    /// Parses a stable id back into a rule.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// How to fix a violation of this rule.
+    #[must_use]
+    pub fn hint(self) -> &'static str {
+        match self {
+            Rule::HashOrder => {
+                "iterate a BTreeMap/BTreeSet, or collect and sort before the order can escape"
+            }
+            Rule::WallClock => {
+                "thread a virtual clock or seeded timestamp through; wall time belongs in \
+                 watchdog/metrics modules only"
+            }
+            Rule::UnseededRng => "use the seeded deterministic RNG (maeri_sim::rng) instead",
+            Rule::FloatReduce => {
+                "reduce sequentially in a fixed order, or use a fixed-shape tree reduction"
+            }
+            Rule::ThreadInfluence => {
+                "worker counts may size pools, but results must not observe thread identity; \
+                 derive data from job content instead"
+            }
+            Rule::PartialCmpSort => "use f64::total_cmp (or a key cast) for a total order",
+        }
+    }
+}
+
+/// One rule violation: where, what, and how to fix it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Repo-relative path.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// What was matched, with context.
+    pub message: String,
+}
+
+impl Finding {
+    fn new(rule: Rule, file: &FileAst, idx: usize, message: String) -> Finding {
+        Finding {
+            rule,
+            path: file.path.clone(),
+            line: line_of(&file.code, idx),
+            message,
+        }
+    }
+}
+
+/// Modules whose whole purpose is timing/telemetry: wall-clock and
+/// thread-identity reads here are the feature, not a hazard, and the
+/// trace-neutrality CI diff proves they cannot perturb report bytes.
+pub const TIMING_MODULES: &[&str] = &[
+    "crates/runtime/src/supervise.rs",
+    "crates/runtime/src/metrics.rs",
+    "crates/serve/src/metrics.rs",
+    "crates/serve/src/recorder.rs",
+    "crates/serve/src/registry.rs",
+    "compat/criterion/src/lib.rs",
+];
+
+/// Runs the whole catalog over `files` with per-fn `output` flags
+/// (as produced by [`crate::classify::output_path`]). Findings are
+/// sorted by (path, line, rule) for deterministic output.
+#[must_use]
+pub fn run_all(files: &[FileAst], output: &[Vec<bool>]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (file, flags) in files.iter().zip(output) {
+        findings.extend(hash_order(file, flags));
+        findings.extend(wall_clock(file, flags));
+        findings.extend(unseeded_rng(file));
+        findings.extend(float_reduce(file, flags));
+        findings.extend(thread_influence(file, flags));
+        findings.extend(partial_cmp_sort(file, flags));
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+    findings.dedup();
+    findings
+}
+
+/// Whether offset `idx` sits inside an output-path function.
+fn in_output(file: &FileAst, flags: &[bool], idx: usize) -> bool {
+    file.enclosing_fn(idx).is_some_and(|ni| flags[ni])
+}
+
+/// Whether offset `idx` sits inside any function at all (code outside
+/// function bodies cannot execute the patterns these rules look for).
+fn in_any_fn(file: &FileAst, idx: usize) -> bool {
+    file.enclosing_fn(idx).is_some()
+}
+
+/// Word-boundary check around `code[at..at + len]`.
+fn bounded(code: &str, at: usize, len: usize) -> bool {
+    let bytes = code.as_bytes();
+    let before = at == 0 || {
+        let b = bytes[at - 1];
+        !(b.is_ascii_alphanumeric() || b == b'_')
+    };
+    let after = at + len >= bytes.len() || {
+        let b = bytes[at + len];
+        !(b.is_ascii_alphanumeric() || b == b'_')
+    };
+    before && after
+}
+
+/// Every word-bounded occurrence of `needle` in `code`.
+fn occurrences<'a>(code: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let mut from = 0usize;
+    std::iter::from_fn(move || {
+        while let Some(rel) = code[from..].find(needle) {
+            let at = from + rel;
+            from = at + needle.len();
+            if bounded(code, at, needle.len()) {
+                return Some(at);
+            }
+        }
+        None
+    })
+}
+
+/// End of the statement containing `from`: the first `;` or `{` at
+/// paren/bracket depth zero (so closure bodies inside call arguments
+/// do not end the statement), capped at 600 bytes.
+fn stmt_end(code: &str, from: usize) -> usize {
+    let bytes = code.as_bytes();
+    let mut depth = 0i32;
+    let cap = (from + 600).min(bytes.len());
+    let mut j = from;
+    while j < cap {
+        match bytes[j] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b';' | b'{' if depth <= 0 => return j,
+            _ => {}
+        }
+        j += 1;
+    }
+    cap
+}
+
+/// Start of the statement containing `at`: just past the previous
+/// `;`, `{`, or `}`, capped at 400 bytes back.
+fn stmt_start(code: &str, at: usize) -> usize {
+    let bytes = code.as_bytes();
+    let floor = at.saturating_sub(400);
+    let mut j = at;
+    while j > floor {
+        match bytes[j - 1] {
+            b';' | b'{' | b'}' => return j,
+            _ => j -= 1,
+        }
+    }
+    floor
+}
+
+// ---------------------------------------------------------------- rule 1
+
+/// Iteration entry points whose order is hash-dependent.
+const ITER_PATTERNS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Chain members that make hash order unobservable: order-insensitive
+/// sinks, or re-collection into an ordered container, or an explicit
+/// sort before the order can escape.
+const ORDER_SINKS: &[&str] = &[
+    ".count()",
+    ".len()",
+    ".any(",
+    ".all(",
+    ".contains(",
+    ".is_empty()",
+    "collect::<BTreeMap",
+    "collect::<BTreeSet",
+    "collect::<std::collections::BTreeMap",
+    "collect::<std::collections::BTreeSet",
+    ".sort",
+];
+
+/// Rule 1: hash-ordered iteration on the output path.
+fn hash_order(file: &FileAst, flags: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let binders = hash_binders(&file.code);
+    for name in &binders {
+        for at in occurrences(&file.code, name).collect::<Vec<_>>() {
+            if !in_output(file, flags, at) {
+                continue;
+            }
+            let window = &file.code[at..stmt_end(&file.code, at)];
+            let iterates =
+                ITER_PATTERNS.iter().any(|p| window.contains(p)) || in_for_header(&file.code, at);
+            if !iterates {
+                continue;
+            }
+            // Sinks may sit on a following statement (the common
+            // `let mut v: Vec<_> = m.iter().collect(); v.sort();`
+            // idiom), so the sink window runs past the statement, to
+            // the end of the function or 400 bytes, whichever first.
+            let fn_end = file
+                .enclosing_fn(at)
+                .map_or(file.code.len(), |ni| file.fns[ni].body.end);
+            let sink_window = &file.code[at..(at + 400).min(fn_end)];
+            if ORDER_SINKS.iter().any(|s| sink_window.contains(s)) {
+                continue;
+            }
+            findings.push(Finding::new(
+                Rule::HashOrder,
+                file,
+                at,
+                format!("hash-ordered iteration over `{name}` can reach report output"),
+            ));
+        }
+    }
+    findings
+}
+
+/// Whether the occurrence at `at` is the iterated expression of a
+/// `for` loop header (`for x in &name {`): its line, up to the
+/// occurrence, reads `for` then `in`.
+fn in_for_header(code: &str, at: usize) -> bool {
+    let line_start = code[..at].rfind('\n').map_or(0, |p| p + 1);
+    let head = &code[line_start..at];
+    let mut saw_for = false;
+    for word in head.split_whitespace() {
+        if word == "for" {
+            saw_for = true;
+        } else if saw_for && word == "in" {
+            return true;
+        }
+    }
+    false
+}
+
+/// Names bound to `HashMap`/`HashSet` in this file: via type
+/// annotations (`name: HashMap<..>`, including through wrapper
+/// generics like `Mutex<HashMap<..>>` and path prefixes), or via
+/// initializers (`let name = HashMap::new()`, `..collect::<HashMap..`).
+fn hash_binders(code: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for ty in ["HashMap", "HashSet"] {
+        for at in occurrences(code, ty) {
+            if let Some(name) = binder_for(code, at) {
+                out.insert(name);
+            }
+        }
+    }
+    out
+}
+
+/// Resolves the identifier a type occurrence at `idx` is bound to, by
+/// walking backwards over path segments, wrapper generics, and
+/// annotation/initializer punctuation.
+fn binder_for(code: &str, idx: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut j = idx;
+    loop {
+        // Skip whitespace backwards.
+        while j > 0 && bytes[j - 1].is_ascii_whitespace() {
+            j -= 1;
+        }
+        if j == 0 {
+            return None;
+        }
+        match bytes[j - 1] {
+            b':' if j >= 2 && bytes[j - 2] == b':' => {
+                // Path segment (`std::collections::HashMap`): skip the
+                // `::` and the segment before it, keep walking.
+                j -= 2;
+                j = skip_ident_back(bytes, j)?;
+            }
+            // Type annotation (`name: HashMap<..>`) or initializer
+            // (`let name = HashMap::new()`): the binder sits just
+            // before the `:` or `=`.
+            b':' | b'=' => return ident_back(code, j - 1),
+            b'<' => {
+                // Wrapper generic (`Mutex<HashMap<..>>`): resolve the
+                // wrapper's own binder.
+                j -= 1;
+                j = skip_ident_back(bytes, j)?;
+            }
+            _ => {
+                // Fall back to a `let` at the statement head (covers
+                // `let name = chain().collect::<HashMap<_, _>>()`
+                // scanned from the turbofish occurrence).
+                let start = stmt_start(code, idx);
+                let stmt = code[start..idx].trim_start();
+                let rest = stmt.strip_prefix("let ")?;
+                let rest = rest.trim_start().strip_prefix("mut ").unwrap_or(rest);
+                let name: String = rest
+                    .trim_start()
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                return (!name.is_empty()).then_some(name);
+            }
+        }
+    }
+}
+
+/// Moves `j` back over one identifier, returning the new position
+/// (`None` when no identifier precedes).
+fn skip_ident_back(bytes: &[u8], mut j: usize) -> Option<usize> {
+    let end = j;
+    while j > 0 && (bytes[j - 1].is_ascii_alphanumeric() || bytes[j - 1] == b'_') {
+        j -= 1;
+    }
+    (j < end).then_some(j)
+}
+
+/// The identifier ending at `end` (exclusive), skipping whitespace.
+fn ident_back(code: &str, mut end: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    while end > 0 && bytes[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let start = skip_ident_back(bytes, end)?;
+    let name = &code[start..end];
+    (!name.is_empty() && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then(|| name.to_owned())
+}
+
+// ---------------------------------------------------------------- rule 2
+
+/// Rule 2: wall-clock reads on the output path.
+fn wall_clock(file: &FileAst, flags: &[bool]) -> Vec<Finding> {
+    if TIMING_MODULES.contains(&file.path.as_str()) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for pattern in ["Instant::now", "SystemTime::now"] {
+        for at in occurrences(&file.code, pattern) {
+            if in_output(file, flags, at) {
+                findings.push(Finding::new(
+                    Rule::WallClock,
+                    file,
+                    at,
+                    format!("`{pattern}` read on the output path"),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- rule 3
+
+/// Rule 3: entropy-seeded randomness anywhere in shipped code.
+fn unseeded_rng(file: &FileAst) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pattern in [
+        "thread_rng",
+        "from_entropy",
+        "from_os_rng",
+        "OsRng",
+        "getrandom",
+        "rand::random",
+    ] {
+        for at in occurrences(&file.code, pattern) {
+            if in_any_fn(file, at) {
+                findings.push(Finding::new(
+                    Rule::UnseededRng,
+                    file,
+                    at,
+                    format!("`{pattern}` draws entropy the replay cannot reproduce"),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- rule 4
+
+const PAR_PATTERNS: &[&str] = &[
+    "par_iter(",
+    "par_iter_mut(",
+    "into_par_iter(",
+    "par_bridge(",
+    "par_chunks(",
+    "par_chunks_mut(",
+];
+
+const REDUCE_PATTERNS: &[&str] = &[".sum()", ".sum::<f", ".product()", ".fold(", ".reduce("];
+
+/// Rule 4: order-sensitive reductions over parallel iterators.
+fn float_reduce(file: &FileAst, flags: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for pattern in PAR_PATTERNS {
+        for at in occurrences(&file.code, pattern.trim_end_matches('(')) {
+            if !in_output(file, flags, at) {
+                continue;
+            }
+            let window = &file.code[stmt_start(&file.code, at)..stmt_end(&file.code, at)];
+            if let Some(reduce) = REDUCE_PATTERNS.iter().find(|r| window.contains(*r)) {
+                findings.push(Finding::new(
+                    Rule::FloatReduce,
+                    file,
+                    at,
+                    format!(
+                        "`{}` chained into `{}`: parallel reduction order is scheduling-dependent",
+                        pattern.trim_end_matches('('),
+                        reduce.trim_start_matches('.')
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- rule 5
+
+/// Rule 5: thread identity / parallelism on the output path.
+fn thread_influence(file: &FileAst, flags: &[bool]) -> Vec<Finding> {
+    if TIMING_MODULES.contains(&file.path.as_str()) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for pattern in ["available_parallelism", "thread::current"] {
+        for at in occurrences(&file.code, pattern.trim_start_matches("thread::")) {
+            // Match both `thread::current` and `std::thread::current`;
+            // plain `current` identifiers without the path are skipped.
+            if pattern.starts_with("thread::") && !file.code[..at].ends_with("thread::") {
+                continue;
+            }
+            if in_output(file, flags, at) {
+                findings.push(Finding::new(
+                    Rule::ThreadInfluence,
+                    file,
+                    at,
+                    format!("`{pattern}` observed on the output path"),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------- rule 6
+
+const SORT_PATTERNS: &[&str] = &[
+    "sort_by(",
+    "sort_unstable_by(",
+    "max_by(",
+    "min_by(",
+    "binary_search_by(",
+];
+
+/// Rule 6: `partial_cmp` comparators inside sorts/extrema.
+fn partial_cmp_sort(file: &FileAst, flags: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for at in occurrences(&file.code, "partial_cmp") {
+        if !in_output(file, flags, at) {
+            continue;
+        }
+        let window = &file.code[stmt_start(&file.code, at)..stmt_end(&file.code, at)];
+        if let Some(sort) = SORT_PATTERNS.iter().find(|s| window.contains(*s)) {
+            findings.push(Finding::new(
+                Rule::PartialCmpSort,
+                file,
+                at,
+                format!(
+                    "`partial_cmp` comparator inside `{}`: NaN makes the order partial",
+                    sort.trim_end_matches('(')
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::output_path;
+
+    /// Parses a single output-path file (seeded via a reports/ path)
+    /// and runs the whole catalog over it.
+    fn findings_for(source: &str) -> Vec<Finding> {
+        let files = vec![FileAst::parse(
+            "crates/bench/src/reports/fixture.rs",
+            source,
+        )];
+        let flags = output_path(&files);
+        run_all(&files, &flags)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn hash_order_flags_output_reaching_iteration() {
+        let bad = "pub fn run() {\n    let mut m: HashMap<String, u64> = HashMap::new();\n    for (k, v) in &m {\n        emit(k, v);\n    }\n}\n";
+        let found = findings_for(bad);
+        assert_eq!(rules_of(&found), [Rule::HashOrder]);
+        assert_eq!(found[0].line, 3);
+        assert!(found[0].message.contains("`m`"));
+    }
+
+    #[test]
+    fn hash_order_clean_when_sorted_or_btree() {
+        let good = "pub fn run() {\n    let m: HashMap<String, u64> = build();\n    let mut pairs: Vec<_> = m.iter().collect::<Vec<_>>();\n    pairs.sort();\n    let b: BTreeMap<String, u64> = m.clone().into_iter().collect::<BTreeMap<_, _>>();\n    let n = m.keys().count();\n    emit(pairs, b, n);\n}\n";
+        assert_eq!(findings_for(good), []);
+    }
+
+    #[test]
+    fn hash_order_flags_method_chain_through_guards() {
+        let bad = "pub fn run(&self) {\n    let rows: Vec<_> = self.cells.lock().unwrap().values().cloned().collect();\n    emit(rows);\n}\nstruct S { cells: Mutex<HashMap<u64, Row>> }\n";
+        assert_eq!(rules_of(&findings_for(bad)), [Rule::HashOrder]);
+    }
+
+    #[test]
+    fn hash_order_ignores_keyed_access_and_test_code() {
+        let good = "pub fn run(m: &HashMap<String, u64>) {\n    let v = m.get(\"k\");\n    if m.contains_key(\"k\") { emit(v); }\n}\n#[cfg(test)]\nmod tests {\n    fn t(m: HashMap<u8, u8>) { for x in &m { sink(x); } }\n}\n";
+        assert_eq!(findings_for(good), []);
+    }
+
+    #[test]
+    fn wall_clock_flags_output_path_reads() {
+        let bad = "pub fn run() {\n    let t = Instant::now();\n    emit(t);\n}\n";
+        let found = findings_for(bad);
+        assert_eq!(rules_of(&found), [Rule::WallClock]);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn wall_clock_allows_timing_modules_and_unreached_fns() {
+        let timing = vec![FileAst::parse(
+            "crates/runtime/src/metrics.rs",
+            "pub fn run() { let t = Instant::now(); emit(t); }",
+        )];
+        let flags = output_path(&timing);
+        assert_eq!(run_all(&timing, &flags), []);
+
+        // An unreached fn in a non-seed file never fires the rule.
+        let files = vec![FileAst::parse(
+            "crates/telemetry/src/span.rs",
+            "pub fn stamp() { let t = SystemTime::now(); store(t); }",
+        )];
+        let flags = output_path(&files);
+        assert_eq!(run_all(&files, &flags), []);
+    }
+
+    #[test]
+    fn unseeded_rng_flags_everywhere_even_off_path() {
+        let bad = vec![FileAst::parse(
+            "crates/telemetry/src/span.rs",
+            "fn jitter() { let r = thread_rng(); use_it(r); }",
+        )];
+        let flags = output_path(&bad);
+        let found = run_all(&bad, &flags);
+        assert_eq!(rules_of(&found), [Rule::UnseededRng]);
+    }
+
+    #[test]
+    fn unseeded_rng_clean_for_seeded_construction() {
+        let good = "pub fn run() {\n    let mut rng = SmallRng::seed_from_u64(42);\n    emit(rng.next_u64());\n}\n";
+        assert_eq!(findings_for(good), []);
+    }
+
+    #[test]
+    fn float_reduce_flags_parallel_sum() {
+        let bad = "pub fn run(xs: &[f64]) {\n    let total: f64 = xs.par_iter().map(|x| x * x).sum();\n    emit(total);\n}\n";
+        let found = findings_for(bad);
+        assert_eq!(rules_of(&found), [Rule::FloatReduce]);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn float_reduce_clean_for_sequential_sum_and_par_map() {
+        let good = "pub fn run(xs: &[f64]) {\n    let total: f64 = xs.iter().map(|x| x * x).sum();\n    let ys: Vec<f64> = xs.par_iter().map(|x| x + 1.0).collect();\n    emit(total, ys);\n}\n";
+        assert_eq!(findings_for(good), []);
+    }
+
+    #[test]
+    fn thread_influence_flags_output_path_observation() {
+        let bad = "pub fn run() {\n    let n = std::thread::available_parallelism().map_or(1, |v| v.get());\n    emit(n);\n}\n";
+        let found = findings_for(bad);
+        assert_eq!(rules_of(&found), [Rule::ThreadInfluence]);
+    }
+
+    #[test]
+    fn thread_influence_clean_off_path_and_for_plain_current() {
+        let files = vec![FileAst::parse(
+            "crates/runtime/src/pool.rs",
+            "fn size_pool() { let n = available_parallelism(); spawn(n); }\npub fn current(x: u8) -> u8 { x }\n",
+        )];
+        let flags = output_path(&files);
+        assert_eq!(run_all(&files, &flags), []);
+    }
+
+    #[test]
+    fn partial_cmp_sort_flags_non_total_comparator() {
+        let bad = "pub fn run(mut xs: Vec<f64>) {\n    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n    emit(xs);\n}\n";
+        let found = findings_for(bad);
+        assert_eq!(rules_of(&found), [Rule::PartialCmpSort]);
+        assert_eq!(found[0].line, 2);
+    }
+
+    #[test]
+    fn partial_cmp_sort_clean_for_total_cmp_and_bare_partial_cmp() {
+        let good = "pub fn run(mut xs: Vec<f64>, a: f64, b: f64) {\n    xs.sort_by(|p, q| p.total_cmp(q));\n    let ord = a.partial_cmp(&b);\n    emit(xs, ord);\n}\n";
+        assert_eq!(findings_for(good), []);
+    }
+
+    #[test]
+    fn findings_sort_deterministically() {
+        let bad = "pub fn run() {\n    let t = Instant::now();\n    let r = thread_rng();\n    emit(t, r);\n}\n";
+        let found = findings_for(bad);
+        assert_eq!(rules_of(&found), [Rule::WallClock, Rule::UnseededRng]);
+        assert!(found[0].line < found[1].line);
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_name(rule.name()), Some(rule));
+            assert!(!rule.hint().is_empty());
+        }
+        assert_eq!(Rule::from_name("nope"), None);
+    }
+}

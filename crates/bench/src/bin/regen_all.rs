@@ -10,13 +10,18 @@
 //! binaries serially; a runtime-metrics summary is appended to stderr
 //! unless `MAERI_RUNTIME_QUIET` is set. With `--json` the summary is
 //! instead printed as a single JSON line on stdout (the last line of
-//! output, so `tail -n 1 | python3 -m json.tool` parses it). Set
+//! output, so `tail -n 1 | python3 -m json.tool` parses it), and the
+//! determinism analyzer (`maeri-analyze`) runs over the workspace
+//! sources so the snapshot also records the code-level gate: files
+//! parsed, findings per rule, suppressions in use. Set
 //! `MAERI_RUNTIME_WORKERS` to control parallelism.
 
+use std::path::Path;
 use std::time::Instant;
 
 use maeri_bench::reports::REPORTS;
-use maeri_runtime::Runtime;
+use maeri_runtime::{PhaseStats, Runtime};
+use maeri_telemetry::json::JsonValue;
 
 fn main() {
     let mut json = false;
@@ -37,15 +42,63 @@ fn main() {
     }
     println!("regenerated all {} reports", REPORTS.len());
 
-    let snapshot = Runtime::global().metrics();
     if json {
         // One line, last on stdout, so scripts can split it off the
-        // human-readable reports above.
-        println!("{}", snapshot.to_json().render());
+        // human-readable reports above. The analyzer runs first so its
+        // phase entry and stats land in the same snapshot.
+        let analyzer = analyzer_json();
+        let snapshot = Runtime::global().metrics();
+        let doc = match analyzer {
+            Some(obj) => snapshot.to_json().with("analyzer", obj),
+            None => snapshot.to_json(),
+        };
+        println!("{}", doc.render());
     } else if std::env::var_os("MAERI_RUNTIME_QUIET").is_none() {
         // Stderr, so piping stdout to a file captures only the reports.
+        let snapshot = Runtime::global().metrics();
         eprintln!("\n{}", snapshot.render().trim_end());
         eprintln!("  workers: {}", Runtime::global().num_workers());
         eprintln!("  regen_all wall: {:.2?}", start.elapsed());
     }
+}
+
+/// Runs the determinism analyzer over the workspace sources and
+/// returns its stats as a JSON object, noting the pass as a runtime
+/// phase. `None` when the sources are not present (for instance, a
+/// binary shipped without the repo checkout).
+fn analyzer_json() -> Option<JsonValue> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2)?;
+    let phase_start = Instant::now();
+    let analysis = maeri_analyze::analyze_workspace(root).ok()?;
+    if analysis.stats.files == 0 {
+        return None;
+    }
+    Runtime::global().note_phase(PhaseStats {
+        name: "analyze".to_owned(),
+        jobs: analysis.stats.files,
+        cache_hits: 0,
+        wall: phase_start.elapsed(),
+    });
+    let mut per_rule = JsonValue::object();
+    for (rule, count) in analysis.per_rule() {
+        per_rule = per_rule.with(rule.name(), JsonValue::UInt(count as u64));
+    }
+    Some(
+        JsonValue::object()
+            .with("files", JsonValue::UInt(analysis.stats.files as u64))
+            .with(
+                "functions",
+                JsonValue::UInt(analysis.stats.functions as u64),
+            )
+            .with(
+                "output_functions",
+                JsonValue::UInt(analysis.stats.output_functions as u64),
+            )
+            .with(
+                "suppressions_in_use",
+                JsonValue::UInt(analysis.stats.suppressions_in_use as u64),
+            )
+            .with("findings", per_rule)
+            .with("clean", JsonValue::Bool(analysis.clean())),
+    )
 }

@@ -1,6 +1,6 @@
 //! Deterministic in-memory result cache keyed by job content.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -49,7 +49,7 @@ impl CacheStats {
 /// machine), not the job, so they are re-attempted on the next request.
 #[derive(Debug, Default)]
 pub struct ResultCache {
-    entries: Mutex<HashMap<JobKey, JobResult>>,
+    entries: Mutex<BTreeMap<JobKey, JobResult>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

@@ -815,7 +815,7 @@ fn regenerate_mask(layer: &ConvLayer, zero_fraction: f64, seed: u64) -> WeightMa
 /// The key stores the job's full canonical encoding, so equal keys mean
 /// equal jobs (a perfect content hash — no collision risk); a 64-bit
 /// [fingerprint](JobKey::fingerprint) is derived for display.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct JobKey(Box<[u8]>);
 
 impl JobKey {

@@ -1,6 +1,6 @@
 //! The runtime facade: batch submission, caching, ordered assembly.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::mpsc::channel;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -248,7 +248,7 @@ impl Runtime {
         self.metrics.record_submitted(jobs.len());
 
         let keys: Vec<JobKey> = jobs.iter().map(SimJob::key).collect();
-        let mut completed: HashMap<JobKey, JobResult> = HashMap::new();
+        let mut completed: BTreeMap<JobKey, JobResult> = BTreeMap::new();
         let mut misses: Vec<(JobKey, &SimJob)> = Vec::new();
         for (key, job) in keys.iter().zip(jobs) {
             if completed.contains_key(key) || misses.iter().any(|(k, _)| k == key) {

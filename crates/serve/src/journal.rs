@@ -207,7 +207,8 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when the append fails.
+    /// [`StoreError::Io`] when the append fails;
+    /// [`StoreError::Poisoned`] when the file lock was poisoned.
     pub fn append_admit(&self, admit: &AdmitRecord) -> Result<(), StoreError> {
         self.append_payload(&admit.to_json())
     }
@@ -216,7 +217,8 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when the append fails.
+    /// [`StoreError::Io`] when the append fails;
+    /// [`StoreError::Poisoned`] when the file lock was poisoned.
     pub fn append_tombstone(&self, id: u64) -> Result<(), StoreError> {
         let doc = JsonValue::object()
             .with("kind", JsonValue::Str("tombstone".to_owned()))
@@ -226,7 +228,10 @@ impl Journal {
 
     fn append_payload(&self, doc: &JsonValue) -> Result<(), StoreError> {
         let record = encode_record(&doc.render().into_bytes());
-        let mut inner = self.inner.lock().expect("journal mutex poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .map_err(|_| StoreError::poisoned("journal file lock"))?;
         inner
             .file
             .write_all(&record)
@@ -242,9 +247,13 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when the rewrite fails.
+    /// [`StoreError::Io`] when the rewrite fails;
+    /// [`StoreError::Poisoned`] when the file lock was poisoned.
     pub fn compact(&self, live: &[AdmitRecord]) -> Result<(), StoreError> {
-        let mut inner = self.inner.lock().expect("journal mutex poisoned");
+        let mut inner = self
+            .inner
+            .lock()
+            .map_err(|_| StoreError::poisoned("journal file lock"))?;
         let tmp = self.path.with_extension("compact");
         {
             let mut out =

@@ -18,7 +18,7 @@
 //! can publish a byte-stable Chrome trace.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use maeri_runtime::{JobError, JobResult, Runtime};
 use maeri_sim::histogram::Histogram;
@@ -188,8 +188,8 @@ fn replay(
         .collect();
     // Per-tenant completion times of in-flight jobs (the admission
     // gauge), and the keys already simulated in this replay.
-    let mut inflight: HashMap<String, VecDeque<u64>> = HashMap::new();
-    let mut seen: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+    let mut inflight: BTreeMap<String, VecDeque<u64>> = BTreeMap::new();
+    let mut seen: std::collections::BTreeSet<Vec<u8>> = std::collections::BTreeSet::new();
     for arrival in arrivals {
         let now = arrival.at_us;
         let tenant = arrival.tenant.as_str();

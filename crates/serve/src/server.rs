@@ -127,6 +127,7 @@ fn dispatch(request: &Request, service: &Service) -> JsonValue {
                 error_response("circuit_open", &err.to_string())
             }
             Err(err @ SubmitError::Closed) => error_response("closed", &err.to_string()),
+            Err(err @ SubmitError::Poisoned) => error_response("unavailable", &err.to_string()),
         },
         Request::Poll { id } => match service.status(*id) {
             Some(ticket) => JsonValue::object()

@@ -35,7 +35,7 @@
 //! the journal: the caller got a structured answer, so the job is not
 //! an orphan.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -127,6 +127,10 @@ pub enum SubmitError {
     },
     /// The service is shutting down.
     Closed,
+    /// The scheduler lock was poisoned by a panicking worker: the
+    /// queue state can no longer be trusted, so admission is refused
+    /// instead of risking a half-updated schedule.
+    Poisoned,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -142,6 +146,12 @@ impl std::fmt::Display for SubmitError {
                 "tenant `{tenant}` is quarantined: repeated timeouts opened the circuit breaker"
             ),
             SubmitError::Closed => write!(f, "service is shutting down"),
+            SubmitError::Poisoned => {
+                write!(
+                    f,
+                    "scheduler state is poisoned; the service must be restarted"
+                )
+            }
         }
     }
 }
@@ -233,9 +243,9 @@ struct Sched {
     queues: Vec<(String, VecDeque<QueuedJob>)>,
     cursor: usize,
     /// Queued + running jobs per tenant (the admission-control gauge).
-    inflight: HashMap<String, usize>,
-    tickets: HashMap<u64, Ticket>,
-    breakers: HashMap<String, Breaker>,
+    inflight: BTreeMap<String, usize>,
+    tickets: BTreeMap<u64, Ticket>,
+    breakers: BTreeMap<String, Breaker>,
     shutdown: bool,
 }
 
@@ -389,9 +399,9 @@ impl Service {
         let mut sched = Sched {
             queues: Vec::new(),
             cursor: 0,
-            inflight: HashMap::new(),
-            tickets: HashMap::new(),
-            breakers: HashMap::new(),
+            inflight: BTreeMap::new(),
+            tickets: BTreeMap::new(),
+            breakers: BTreeMap::new(),
             shutdown: false,
         };
         let mut replay = ReplaySummary::default();
@@ -494,9 +504,9 @@ impl Service {
                 std::thread::Builder::new()
                     .name(format!("maeri-serve-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawning a service worker thread failed")
+                    .map_err(|e| StoreError::io("spawn service worker thread", &e))
             })
-            .collect();
+            .collect::<Result<Vec<_>, StoreError>>()?;
         Ok(Service {
             shared,
             next_id: AtomicU64::new(next_id),
@@ -617,7 +627,11 @@ impl Service {
             .as_ref()
             .and_then(|store| store.get(&job.key()));
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let mut sched = self.shared.sched.lock().expect("scheduler mutex poisoned");
+        let mut sched = self
+            .shared
+            .sched
+            .lock()
+            .map_err(|_| SubmitError::Poisoned)?;
         if sched.shutdown {
             if let Some(rec) = rec {
                 rec.record_batch(&[

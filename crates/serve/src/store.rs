@@ -27,7 +27,7 @@
 //! Nothing in recovery panics, errors out, or silently serves bad
 //! data; the report is surfaced through the service's `stats` verb.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
@@ -51,12 +51,22 @@ pub enum StoreError {
         /// What the store was doing when the error hit.
         context: String,
     },
+    /// A lock was poisoned by a panicking writer: the in-memory state
+    /// can no longer be trusted, so the operation is refused rather
+    /// than served from a possibly half-updated structure.
+    Poisoned {
+        /// Which lock was found poisoned.
+        context: String,
+    },
 }
 
 impl std::fmt::Display for StoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StoreError::Io { context } => write!(f, "store i/o error: {context}"),
+            StoreError::Poisoned { context } => {
+                write!(f, "store lock poisoned: {context}")
+            }
         }
     }
 }
@@ -64,9 +74,15 @@ impl std::fmt::Display for StoreError {
 impl std::error::Error for StoreError {}
 
 impl StoreError {
-    fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
+    pub(crate) fn io(context: impl Into<String>, err: &std::io::Error) -> Self {
         StoreError::Io {
             context: format!("{}: {err}", context.into()),
+        }
+    }
+
+    pub(crate) fn poisoned(context: impl Into<String>) -> Self {
+        StoreError::Poisoned {
+            context: context.into(),
         }
     }
 }
@@ -194,7 +210,7 @@ fn output_cycles(output: &SimOutput) -> u64 {
 
 struct StoreInner {
     file: File,
-    index: HashMap<Vec<u8>, StoredResult>,
+    index: BTreeMap<Vec<u8>, StoredResult>,
 }
 
 /// The content-addressed persistent result store.
@@ -352,8 +368,8 @@ fn checksum(key: &[u8], payload: &[u8]) -> u64 {
 /// retained prefix; a *complete* entry that fails validation is
 /// skipped over its intact framing and counted.
 #[allow(clippy::type_complexity)]
-fn replay(bytes: &[u8]) -> (HashMap<Vec<u8>, StoredResult>, u64, usize, usize) {
-    let mut index = HashMap::new();
+fn replay(bytes: &[u8]) -> (BTreeMap<Vec<u8>, StoredResult>, u64, usize, usize) {
+    let mut index = BTreeMap::new();
     let mut offset = 0usize;
     let mut entries = 0usize;
     let mut skipped = 0usize;

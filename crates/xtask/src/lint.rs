@@ -94,7 +94,6 @@ pub const UNWRAP_ALLOWLIST: &[&str] = &[
     "crates/runtime/src/runtime.rs",
     "crates/runtime/src/supervise.rs",
     "crates/serve/src/chaos.rs",
-    "crates/serve/src/journal.rs",
     "crates/serve/src/metrics.rs",
     "crates/serve/src/recorder.rs",
     "crates/serve/src/registry.rs",

@@ -1,11 +1,14 @@
-//! Repo automation tasks. Usage: `cargo run -p xtask -- lint`.
+//! Repo automation tasks. Usage: `cargo run -p xtask -- <task>`.
 //!
 //! `lint` walks the workspace and enforces the invariants implemented
 //! in [`lint`] (probe-twin sync, the unwrap allowlist, report-registry
 //! contiguity, `#![forbid(unsafe_code)]` headers, dangling doc-path
 //! references, chaos fault-point coverage, span-kind catalog coverage,
-//! placement-policy catalog coverage). Exits non-zero with one line
-//! per finding so CI can gate on it.
+//! placement-policy catalog coverage). `analyze` runs the
+//! `maeri-analyze` determinism analyzer over the workspace and fails
+//! on any finding outside `analyze-suppressions.txt` (and on any
+//! stale suppression). Both exit non-zero with one line per finding
+//! so CI can gate on them.
 
 mod lint;
 
@@ -16,13 +19,68 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => run_lint(),
+        Some("analyze") => run_analyze(),
         other => {
             eprintln!(
-                "unknown task {:?}; available tasks: lint",
+                "unknown task {:?}; available tasks: lint, analyze",
                 other.unwrap_or("<none>")
             );
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Runs the determinism analyzer over the whole workspace.
+fn run_analyze() -> ExitCode {
+    let root = workspace_root();
+    let analysis = match maeri_analyze::analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xtask analyze: workspace walk failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for f in &analysis.findings {
+        eprintln!(
+            "xtask analyze: {}:{}: [{}] {}\n    fix: {}",
+            f.path,
+            f.line,
+            f.rule.name(),
+            f.message,
+            f.rule.hint()
+        );
+    }
+    for e in &analysis.suppress_errors {
+        eprintln!("xtask analyze: {e}");
+    }
+    let s = analysis.stats;
+    let per_rule: Vec<String> = analysis
+        .per_rule()
+        .iter()
+        .filter(|(_, n)| *n > 0)
+        .map(|(r, n)| format!("{}={n}", r.name()))
+        .collect();
+    println!(
+        "xtask analyze: {} files, {} fns ({} output-path), {} suppression(s) in use{}",
+        s.files,
+        s.functions,
+        s.output_functions,
+        s.suppressions_in_use,
+        if per_rule.is_empty() {
+            String::new()
+        } else {
+            format!("; findings: {}", per_rule.join(" "))
+        }
+    );
+    if analysis.clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask analyze: {} finding(s), {} suppression error(s)",
+            analysis.findings.len(),
+            analysis.suppress_errors.len()
+        );
+        ExitCode::FAILURE
     }
 }
 
